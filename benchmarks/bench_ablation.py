@@ -1,0 +1,31 @@
+"""Benchmark: design-choice ablations (mode-vs-bandwidth and
+dataflow-vs-feature-size crossovers the paper describes
+qualitatively in Sections 4.2.5 and 6.2)."""
+
+from repro.experiments.ablation import (
+    format_bandwidth_ablation,
+    format_dataflow_ablation,
+    run_bandwidth_ablation,
+    run_dataflow_ablation,
+)
+
+
+def test_bandwidth_ablation(benchmark, once, capsys):
+    points = once(benchmark, run_bandwidth_ablation)
+    with capsys.disabled():
+        print()
+        print(format_bandwidth_ablation(points))
+    # Ample bandwidth: Winograd wins clearly; starved: advantage gone.
+    assert points[-1].best_mode == "wino"
+    assert points[-1].wino_gops / points[-1].spat_gops > 1.5
+    assert points[0].wino_gops / points[0].spat_gops < 1.1
+
+
+def test_dataflow_ablation(benchmark, once, capsys):
+    points = once(benchmark, run_dataflow_ablation)
+    with capsys.disabled():
+        print()
+        print(format_dataflow_ablation(points))
+    # Small features -> WS; large features -> IS (Sec. 4.2.5).
+    assert points[0].best_dataflow == "ws"
+    assert points[-1].best_dataflow == "is"

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the Section-6.2 estimation-error numbers.
+
+Paper: 4.27 % (VU9P) and 4.03 % (PYNQ-Z1) between the analytical model
+and the measured hardware; here between the model and the simulator.
+The assertion keeps both in the single-digit band.
+"""
+
+from repro.experiments.estimation_error import (
+    format_estimation_error,
+    run_estimation_error,
+)
+
+
+def test_estimation_error(benchmark, once, capsys):
+    rows = once(benchmark, run_estimation_error)
+    with capsys.disabled():
+        print()
+        print(format_estimation_error(rows))
+    for row in rows:
+        assert row.error < 0.10, (
+            f"{row.device}: estimation error {row.error:.1%} "
+            "outside the paper's single-digit band"
+        )

@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 6 (per-layer Winograd/Spatial
+performance, estimated vs real, on both platforms).
+
+Shape assertions, matching Section 6.2's narrative:
+* Spatial "Real" is stable and close to its peak;
+* Winograd beats Spatial on most 3x3+ layers but *fluctuates* and loses
+  where the higher bandwidth demand is memory-bound;
+* estimates track simulation on compute-bound layers.
+"""
+
+import numpy as np
+
+from repro.experiments.figure6 import format_figure6, run_figure6
+
+
+def _checks(points, peak_spat_gops):
+    k3 = [p for p in points if p.kernel == 3]
+    assert all(p.wino_real_gops > p.spat_real_gops for p in k3), (
+        "Winograd must win every 3x3 layer"
+    )
+    k1 = [p for p in points if p.kernel == 1]
+    assert all(p.spat_real_gops > p.wino_real_gops for p in k1), (
+        "Spatial must win 1x1 layers (tile overhead)"
+    )
+    spat = np.array([p.spat_real_gops for p in points if p.kernel != 1])
+    assert spat.std() / spat.mean() < 0.25, "Spatial should be stable"
+    wino = np.array([p.wino_real_gops for p in points if p.kernel == 3])
+    assert wino.max() / wino.min() > 1.2, (
+        "Winograd should fluctuate (memory-bound dips)"
+    )
+    assert spat.max() <= peak_spat_gops * 1.01
+
+
+def test_figure6_vu9p(benchmark, once, capsys):
+    points = once(benchmark, run_figure6, "vu9p")
+    with capsys.disabled():
+        print()
+        print(format_figure6("vu9p", points))
+    assert len(points) == 60  # the paper's 60 evaluated CONV layers
+    from repro.experiments.common import paper_config
+
+    cfg, _ = paper_config("vu9p")
+    _checks(points, cfg.peak_gops("spat"))
+
+
+def test_figure6_pynq(benchmark, once, capsys):
+    points = once(benchmark, run_figure6, "pynq-z1")
+    with capsys.disabled():
+        print()
+        print(format_figure6("pynq-z1", points))
+    assert len(points) == 40  # the paper's 40 evaluated CONV layers
+    from repro.experiments.common import paper_config
+
+    cfg, _ = paper_config("pynq-z1")
+    _checks(points, cfg.peak_gops("spat"))

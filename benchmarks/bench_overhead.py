@@ -1,0 +1,24 @@
+"""Benchmark: regenerate the Section-6.1 hybrid-overhead ablation.
+
+Paper: adding the Winograd-supported hybrid structure costs 26.4 %
+extra LUTs and **no** extra DSPs on VU9P.
+"""
+
+import pytest
+
+from repro.experiments.overhead import (
+    PAPER_LUT_OVERHEAD,
+    format_overhead,
+    run_overhead,
+)
+
+
+def test_overhead(benchmark, once, capsys):
+    rows = once(benchmark, run_overhead)
+    with capsys.disabled():
+        print()
+        print(format_overhead(rows))
+    vu9p = next(r for r in rows if r.device == "vu9p")
+    assert vu9p.lut_overhead == pytest.approx(PAPER_LUT_OVERHEAD, abs=0.002)
+    for row in rows:
+        assert row.dsp_overhead == 0

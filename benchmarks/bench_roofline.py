@@ -1,0 +1,61 @@
+"""Benchmark: roofline classification of the Figure-6 sweep, with a
+simulator cross-check on both a compute-bound and a memory-bound layer.
+"""
+
+import numpy as np
+
+from repro.compiler import CompilerOptions, compile_network
+from repro.experiments.common import paper_config
+from repro.experiments.roofline_study import (
+    format_roofline_study,
+    run_roofline_study,
+)
+from repro.ir import zoo
+from repro.mapping import NetworkMapping
+from repro.runtime import HostRuntime, generate_parameters
+
+
+def _simulated_gops(cfg, device, net, mode):
+    info = net.compute_layers()[0]
+    compiled = compile_network(
+        net, cfg, NetworkMapping.uniform(net, mode, "ws"),
+        generate_parameters(net),
+        CompilerOptions(quantize=True, pack_data=False),
+    )
+    runtime = HostRuntime(compiled, device, functional=False)
+    sim = runtime.infer(np.zeros(net.input_shape.as_tuple())).sim
+    return info.ops / sim.seconds / 1e9
+
+
+def test_roofline_study(benchmark, once, capsys):
+    rows = once(benchmark, run_roofline_study, "vu9p")
+    with capsys.disabled():
+        print()
+        print(format_roofline_study("vu9p", rows))
+
+    # Shape: 3x3 layers predicted Winograd; 1x1 layers predicted Spatial.
+    for row in rows:
+        if row.kernel == 3:
+            assert row.predicted_winner == "wino"
+        if row.kernel == 1:
+            assert row.predicted_winner == "spat"
+
+    # Cross-check: the simulator respects both roofs.
+    cfg, device = paper_config("vu9p")
+    compute_bound = zoo.single_conv(256, 256, 56, 3, padding=1)
+    memory_bound = zoo.single_conv(512, 512, 7, 3, padding=1)
+    from repro.analysis.roofline import layer_roofline
+
+    cb = layer_roofline(
+        cfg, device, compute_bound.compute_layers()[0], "wino"
+    )
+    mb = layer_roofline(
+        cfg, device, memory_bound.compute_layers()[0], "wino"
+    )
+    assert cb.bound == "compute" and mb.bound == "memory"
+    cb_gops = _simulated_gops(cfg, device, compute_bound, "wino")
+    mb_gops = _simulated_gops(cfg, device, memory_bound, "wino")
+    # Compute-bound layer approaches its roof; memory-bound one cannot.
+    assert cb_gops > 0.8 * cb.peak_gops
+    assert mb_gops < 0.8 * mb.peak_gops
+    assert mb_gops <= mb.attainable_gops * 1.3  # within model slack

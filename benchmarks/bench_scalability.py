@@ -1,0 +1,26 @@
+"""Benchmark: the abstract's flexibility/scalability claim — the same
+flow targets cloud and embedded platforms with vastly different
+resource constraints, and throughput scales with the platform."""
+
+from repro.experiments.scalability import (
+    format_scalability,
+    run_scalability,
+)
+
+
+def test_scalability(benchmark, once, capsys):
+    rows = once(benchmark, run_scalability, "vgg16")
+    with capsys.disabled():
+        print()
+        print(format_scalability(rows, "vgg16"))
+    by_dev = {r.device: r for r in rows}
+    # Cloud >> mid-range >> embedded ordering must hold.
+    assert by_dev["vu9p"].gops > by_dev["zcu102"].gops
+    assert by_dev["zcu102"].gops > by_dev["pynq-z1"].gops
+    # Two orders of magnitude between the extremes (3375 vs 83 in the
+    # paper: ~40x).
+    ratio = by_dev["vu9p"].gops / by_dev["pynq-z1"].gops
+    assert 15 < ratio < 80
+    # Every platform gets a legal design.
+    for row in rows:
+        assert 0 < row.dsp_utilisation <= 1.0

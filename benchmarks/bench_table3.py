@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table 3 (resource utilisation).
+
+Asserts our calibrated Eq. 3-5 models land within 0.5 % of the paper's
+reported utilisation on both devices.
+"""
+
+import pytest
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+def test_table3(benchmark, once, capsys):
+    rows = once(benchmark, run_table3)
+    with capsys.disabled():
+        print()
+        print(format_table3(rows))
+    for row in rows:
+        for kind in ("luts", "dsps", "brams"):
+            assert getattr(row.ours, kind) == pytest.approx(
+                getattr(row.paper, kind), rel=0.005
+            )

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the Section-6.1 VGG16 case study.
+
+The full 3-step DSE must independently select the paper's design
+points: VU9P PI=PO=4 PT=6 x6 (two per die), PYNQ-Z1 PI=PO=4 PT=4 x1,
+with every CONV layer mapped to Winograd mode.
+"""
+
+from repro.experiments.vgg16_case import format_vgg16_case, run_vgg16_case
+
+
+def test_vgg16_case(benchmark, once, capsys):
+    rows = once(benchmark, run_vgg16_case)
+    with capsys.disabled():
+        print()
+        print(format_vgg16_case(rows))
+    for row in rows:
+        assert row.matches_paper, row.device
+        assert row.conv_wino_layers == row.conv_layers == 13
+    vu9p = next(r for r in rows if r.device == "vu9p")
+    assert vu9p.per_die == 2  # two instances per die, three dies

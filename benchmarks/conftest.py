@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper artifact (table or figure) and
+prints the same rows the paper reports; pytest-benchmark measures the
+underlying computation.  Expensive end-to-end runs use pedantic mode
+with a single round — the quantity of interest is the artifact, not
+micro-variance.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark ``fn`` with exactly one warm round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

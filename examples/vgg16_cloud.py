@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The paper's cloud case study: VGG16 on a Xilinx VU9P (Section 6.1).
+
+Reproduces the full Step 1-4 flow:
+* DSE selects six PI=4/PO=4/PT=6 instances (two per die);
+* resource utilisation matches Table 3;
+* the compiled design simulates at ~3.3 TOPS aggregate (Table 4);
+* the HLS project files are emitted for vendor synthesis.
+
+Run:  python examples/vgg16_cloud.py [output_dir]
+"""
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import (
+    CompilerOptions,
+    HostRuntime,
+    compile_network,
+    estimate_resources,
+    generate_parameters,
+    get_device,
+    run_dse,
+)
+from repro.dse.space import DseOptions
+from repro.hls import HlsConfig, emit_project
+from repro.ir import zoo
+
+
+def main(out_dir=None):
+    device = get_device("vu9p")
+    net = zoo.vgg16()
+    print(f"model: {net.name}, {net.total_macs / 1e9:.2f} GMACs, "
+          f"{len(net.conv_layers())} conv + {len(net.dense_layers())} fc")
+
+    # Step 2: design space exploration.
+    result = run_dse(device, net, DseOptions(frequency_mhz=167))
+    print("\nDSE selection (paper: PI=4 PO=4 PT=6, 6 instances):")
+    print(result.summary())
+
+    resources = estimate_resources(result.cfg, device)
+    util = resources.utilisation(device.resources)
+    print(f"\nresources (Table 3): {resources}")
+    print("utilisation: " + ", ".join(
+        f"{k} {v * 100:.1f}%" for k, v in util.items()
+    ))
+
+    # Step 3: compile and emit the HLS project.
+    params = generate_parameters(net)
+    compiled = compile_network(
+        net, result.cfg, result.mapping, params,
+        CompilerOptions(quantize=True, pack_data=False),
+    )
+    print(f"\ncompiled {compiled.total_instructions} instructions, "
+          f"{len(compiled.steps)} execution steps")
+
+    out_dir = out_dir or tempfile.mkdtemp(prefix="hybriddnn_vu9p_")
+    files = emit_project(
+        HlsConfig.from_config(result.cfg, device, "vgg16_vu9p"), out_dir
+    )
+    print("emitted HLS project:")
+    for name, path in files.items():
+        print(f"  {name}: {path}")
+
+    # Step 4: run the cycle-approximate simulation.
+    runtime = HostRuntime(compiled, device, functional=False)
+    sim = runtime.infer(np.zeros(net.input_shape.as_tuple())).sim
+    ops = sum(i.ops for i in net.compute_layers())
+    gops = ops / sim.seconds / 1e9 * result.cfg.instances
+    print(f"\nsimulated: {sim.seconds * 1e3:.1f} ms/image/instance, "
+          f"{gops:.1f} GOPS aggregate (paper: 3375.7 GOPS)")
+    print("module utilisation: " + ", ".join(
+        f"{name} {stats.utilisation(sim.cycles) * 100:.0f}%"
+        for name, stats in sim.modules.items()
+    ))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

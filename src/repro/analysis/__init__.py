@@ -1,0 +1,26 @@
+"""Metrics, roofline analysis, report formatting and data export."""
+
+from repro.analysis.metrics import (
+    dsp_efficiency,
+    energy_efficiency,
+    gops,
+    relative_error,
+    speedup,
+)
+from repro.analysis.report import Table, format_table
+from repro.analysis.roofline import RooflinePoint, layer_roofline
+from repro.analysis.export import rows_to_csv, rows_to_json
+
+__all__ = [
+    "RooflinePoint",
+    "Table",
+    "dsp_efficiency",
+    "energy_efficiency",
+    "format_table",
+    "gops",
+    "layer_roofline",
+    "relative_error",
+    "rows_to_csv",
+    "rows_to_json",
+    "speedup",
+]

@@ -1,0 +1,61 @@
+"""Export experiment rows to CSV / JSON for external plotting.
+
+The benchmarks print ASCII tables; anyone regenerating the paper's
+*figures* graphically will want the raw series instead.  Works on any
+list of flat dataclass instances (the experiment row types).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, fields, is_dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+
+def _row_dict(row) -> dict:
+    if not is_dataclass(row):
+        raise ReproError(f"can only export dataclass rows, got {type(row)}")
+    out = {}
+    for key, value in asdict(row).items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out
+
+
+def rows_to_csv(
+    rows: Sequence, path: Union[str, Path, None] = None,
+    columns: Optional[List[str]] = None,
+) -> str:
+    """Serialise dataclass rows to CSV text (optionally writing a file)."""
+    if not rows:
+        raise ReproError("nothing to export")
+    dicts = [_row_dict(row) for row in rows]
+    if columns is None:
+        columns = [f.name for f in fields(rows[0]) if f.name in dicts[0]]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore")
+    writer.writeheader()
+    writer.writerows(dicts)
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def rows_to_json(
+    rows: Sequence, path: Union[str, Path, None] = None
+) -> str:
+    """Serialise dataclass rows to a JSON array."""
+    if not rows:
+        raise ReproError("nothing to export")
+    text = json.dumps([_row_dict(row) for row in rows], indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text

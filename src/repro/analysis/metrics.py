@@ -1,0 +1,45 @@
+"""Evaluation metrics (the quantities Table 4 reports)."""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def gops(ops: int, seconds: float, instances: int = 1) -> float:
+    """Aggregate throughput in giga-operations per second.
+
+    ``instances`` accelerator instances process independent images
+    (batch parallelism), multiplying throughput but not reducing
+    single-image latency.
+    """
+    if seconds <= 0:
+        raise ReproError("seconds must be positive")
+    return ops / seconds / 1e9 * instances
+
+
+def dsp_efficiency(gops_value: float, dsps: int) -> float:
+    """GOPS per DSP slice (Table 4's 'DSP Effi.')."""
+    if dsps <= 0:
+        raise ReproError("dsps must be positive")
+    return gops_value / dsps
+
+
+def energy_efficiency(gops_value: float, power_w: float) -> float:
+    """GOPS per watt (Table 4's 'Energy Effi.')."""
+    if power_w <= 0:
+        raise ReproError("power must be positive")
+    return gops_value / power_w
+
+
+def speedup(ours: float, baseline: float) -> float:
+    """Ratio used for the paper's '1.8x higher performance' claims."""
+    if baseline <= 0:
+        raise ReproError("baseline must be positive")
+    return ours / baseline
+
+
+def relative_error(estimated: float, measured: float) -> float:
+    """|esti - real| / real — the Section-6.2 estimation-error metric."""
+    if measured <= 0:
+        raise ReproError("measured value must be positive")
+    return abs(estimated - measured) / measured

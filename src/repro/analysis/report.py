@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment reports.
+
+Every benchmark prints the same rows the paper's tables/figures report;
+this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table with aligned columns."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return format_table(
+            self.title, self.headers, self.rows, self.notes
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.1f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[str]],
+    notes: Optional[Sequence[str]] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    out = [title, "=" * len(title), line(headers),
+           line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    for note in notes or ():
+        out.append(f"* {note}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,103 @@
+"""Roofline analysis of CONV layers on the hybrid accelerator.
+
+Explains the Figure-6 fluctuation quantitatively: a layer's attainable
+performance is ``min(peak_compute, bandwidth x operational_intensity)``.
+Winograd mode *raises the compute roof* (fewer multiplications per
+output) but *lowers the operational intensity* (PT^2 coefficients per
+3x3 kernel loaded from DRAM), so the two modes cross exactly where the
+paper says they do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import AcceleratorConfig
+from repro.errors import UnsupportedLayerError
+from repro.fpga.device import FpgaDevice
+from repro.ir.graph import LayerInfo
+from repro.ir.layers import Conv2D, Dense
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer x mode point on the roofline plot."""
+
+    layer_name: str
+    mode: str
+    ops: int
+    dram_bytes: float
+    peak_gops: float
+    bandwidth_gbs: float
+
+    @property
+    def operational_intensity(self) -> float:
+        """Ops per DRAM byte."""
+        return self.ops / self.dram_bytes
+
+    @property
+    def attainable_gops(self) -> float:
+        """min(compute roof, memory roof x OI)."""
+        memory_roof = self.bandwidth_gbs * self.operational_intensity
+        return min(self.peak_gops, memory_roof)
+
+    @property
+    def bound(self) -> str:
+        return (
+            "compute"
+            if self.peak_gops <= self.bandwidth_gbs * self.operational_intensity
+            else "memory"
+        )
+
+    @property
+    def ridge_intensity(self) -> float:
+        """OI at which this configuration's roofline turns flat."""
+        return self.peak_gops / self.bandwidth_gbs
+
+
+def layer_roofline(
+    cfg: AcceleratorConfig,
+    device: FpgaDevice,
+    info: LayerInfo,
+    mode: str,
+) -> RooflinePoint:
+    """Roofline point of ``info`` under ``mode`` on one instance."""
+    layer = info.layer
+    if isinstance(layer, Dense):
+        c, k = info.input_shape.size, layer.out_features
+        r = s = 1
+        h = w = 1
+    elif isinstance(layer, Conv2D):
+        c, k = info.input_shape.channels, layer.out_channels
+        r, s = layer.kernel_size
+        h, w = info.input_shape.height, info.input_shape.width
+    else:
+        raise UnsupportedLayerError(
+            f"{layer.name}: roofline applies to compute layers"
+        )
+    out = info.output_shape
+
+    feature_bytes = max(1, (cfg.data_width + 7) // 8)
+    weight_bytes = max(1, (cfg.weight_width + 7) // 8)
+    if mode == "wino":
+        blocks = (-(-r // 3)) * (-(-s // 3))
+        wgt_elems = k * c * blocks * cfg.pt * cfg.pt
+    else:
+        wgt_elems = k * c * r * s
+    # Minimum DRAM traffic: inputs once, weights once, outputs once.
+    dram_bytes = (
+        c * h * w * feature_bytes
+        + wgt_elems * weight_bytes
+        + out.size * feature_bytes
+    )
+    bandwidth_gbs = (
+        device.memory.bandwidth_bytes / cfg.instances / 1e9
+    )
+    return RooflinePoint(
+        layer_name=layer.name,
+        mode=mode,
+        ops=info.ops,
+        dram_bytes=float(dram_bytes),
+        peak_gops=cfg.peak_gops(mode, kernel=max(r, s)),
+        bandwidth_gbs=bandwidth_gbs,
+    )

@@ -1,0 +1,136 @@
+"""External memory model.
+
+Holds the accelerator's DRAM image (instructions, weights, biases and
+feature maps) as one flat float64 element array plus named regions, and
+accounts for transfer time:
+
+``cycles = ceil(elements / min(bw_elems_per_cycle, port_elems_per_cycle))
+          + fixed_latency``
+
+which is the discrete version of the paper's
+``T = size / min(BW, FREQ * port)`` (Eq. 8-11), with ``fixed_latency``
+modelling the DDR access/burst setup the analytical model folds into the
+``T_penalty`` term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A named, contiguous element range inside the DRAM image."""
+
+    name: str
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int, count: int = 1) -> bool:
+        return self.base <= address and address + count <= self.end
+
+
+class ExternalMemoryModel:
+    """Flat element-addressed DRAM with bandwidth accounting.
+
+    Parameters
+    ----------
+    size:
+        Capacity in elements.
+    bandwidth_elems_per_cycle:
+        Sustained external bandwidth, converted to elements per clock
+        cycle by the caller (this is where multi-instance sharing and the
+        byte width of the element type are applied).
+    fixed_latency:
+        Per-transfer setup cycles (DDR protocol + burst start).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        bandwidth_elems_per_cycle: float,
+        fixed_latency: int = 64,
+    ):
+        if size <= 0:
+            raise SimulationError("DRAM size must be positive")
+        if bandwidth_elems_per_cycle <= 0:
+            raise SimulationError("bandwidth must be positive")
+        if fixed_latency < 0:
+            raise SimulationError("fixed latency must be >= 0")
+        self.size = size
+        self.bandwidth = float(bandwidth_elems_per_cycle)
+        self.fixed_latency = int(fixed_latency)
+        self.data = np.zeros(size, dtype=np.float64)
+        self.regions: Dict[str, MemoryRegion] = {}
+        self._next_free = 0
+        self.total_read_elems = 0
+        self.total_written_elems = 0
+
+    # -- allocation -------------------------------------------------------
+
+    def allocate(self, name: str, size: int, align: int = 64) -> MemoryRegion:
+        """Reserve a named region; simple bump allocator."""
+        if name in self.regions:
+            raise SimulationError(f"region {name!r} already allocated")
+        if size <= 0:
+            raise SimulationError(f"region {name!r}: size must be positive")
+        base = -(-self._next_free // align) * align
+        if base + size > self.size:
+            raise SimulationError(
+                f"DRAM exhausted allocating {name!r} "
+                f"({base + size} > {self.size} elements)"
+            )
+        region = MemoryRegion(name, base, size)
+        self.regions[name] = region
+        self._next_free = base + size
+        return region
+
+    def region(self, name: str) -> MemoryRegion:
+        try:
+            return self.regions[name]
+        except KeyError:
+            raise SimulationError(f"unknown DRAM region {name!r}") from None
+
+    # -- data access -------------------------------------------------------
+
+    def _check(self, address: int, count: int) -> None:
+        if address < 0 or address + count > self.size:
+            raise SimulationError(
+                f"DRAM access [{address}, {address + count}) out of range"
+            )
+
+    def read(self, address: int, count: int) -> np.ndarray:
+        """Read ``count`` elements (functional; no timing)."""
+        self._check(address, count)
+        self.total_read_elems += count
+        return self.data[address : address + count].copy()
+
+    def write(self, address: int, values: np.ndarray) -> None:
+        """Write elements (functional; no timing)."""
+        values = np.asarray(values, dtype=np.float64).reshape(-1)
+        self._check(address, values.size)
+        self.total_written_elems += values.size
+        self.data[address : address + values.size] = values
+
+    # -- timing --------------------------------------------------------
+
+    def transfer_cycles(self, elements: int, port_elems_per_cycle: float) -> int:
+        """Cycles to move ``elements`` over the DDR interface.
+
+        ``port_elems_per_cycle`` is the on-chip side's consumption or
+        production rate (``PI*PT``, ``PI*PO*PT`` or ``PO*PT`` per Eq.
+        8-11); the slower of DDR and port limits throughput.
+        """
+        if elements <= 0:
+            return 0
+        rate = min(self.bandwidth, float(port_elems_per_cycle))
+        return int(np.ceil(elements / rate)) + self.fixed_latency

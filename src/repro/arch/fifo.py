@@ -1,0 +1,76 @@
+"""Handshake FIFOs between producer/consumer module pairs (Section 4.1).
+
+The accelerator uses token FIFOs in both directions of each pair
+("LOAD_INP and COMP", "LOAD_WGT and COMP", "COMP and SAVE"): the consumer
+waits for a *data* token before reading a ping-pong half, the producer
+waits for a *free* token before overwriting one.  In the timing
+simulator a token is simply the timestamp at which it becomes available.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.errors import SimulationError
+
+
+class HandshakeFifo:
+    """Timestamped token FIFO.
+
+    ``depth`` bounds the number of outstanding tokens (ping-pong buffers
+    have depth 2).  ``preload`` tokens available at time 0 model the
+    initially-free buffer halves.
+    """
+
+    def __init__(self, name: str, depth: int = 2, preload: int = 0):
+        if depth <= 0:
+            raise SimulationError(f"{name}: FIFO depth must be positive")
+        if preload < 0 or preload > depth:
+            raise SimulationError(
+                f"{name}: preload {preload} outside [0, {depth}]"
+            )
+        self.name = name
+        self.depth = depth
+        self._tokens: Deque[float] = deque([0.0] * preload)
+        self.pushes = preload
+        self.pops = 0
+        self.max_occupancy = preload
+
+    def push(self, timestamp: float) -> None:
+        """Emit a token that becomes visible at ``timestamp``."""
+        if len(self._tokens) >= self.depth:
+            raise SimulationError(
+                f"{self.name}: token overflow (depth {self.depth}); "
+                "the compiler emitted unbalanced handshake flags"
+            )
+        if self._tokens and timestamp < self._tokens[-1]:
+            # Tokens are produced by an in-order module; a timestamp going
+            # backwards indicates a scheduling bug.
+            raise SimulationError(
+                f"{self.name}: non-monotonic token time {timestamp} "
+                f"after {self._tokens[-1]}"
+            )
+        self._tokens.append(timestamp)
+        self.pushes += 1
+        self.max_occupancy = max(self.max_occupancy, len(self._tokens))
+
+    def pop(self) -> float:
+        """Consume the oldest token; returns its availability time."""
+        if not self._tokens:
+            raise SimulationError(
+                f"{self.name}: token underflow; a consumer waited on a "
+                "token that is never produced (deadlock in program order)"
+            )
+        self.pops += 1
+        return self._tokens.popleft()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._tokens)
+
+    def __repr__(self) -> str:
+        return (
+            f"HandshakeFifo({self.name!r}, depth={self.depth}, "
+            f"occupancy={self.occupancy})"
+        )

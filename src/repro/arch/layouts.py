@@ -1,0 +1,159 @@
+"""Feature-map data layouts and reordering transforms (Figure 5).
+
+Feature maps live in external memory as arrays of *channel vectors* (PI
+elements each, the paper's Figure-5 "Vec." granularity).  Channels are
+padded up to a whole number of vectors.  Two layouts exist:
+
+``SPAT``  — ``[row][channel-vector][column][lane]``: columns of one
+  channel vector are contiguous, matching the Spatial broadcast order.
+``WINO``  — ``[row][column][channel-vector][lane]``: the channel vectors
+  of one pixel are contiguous, matching the channel-innermost GEMM order
+  of the Winograd EWMM (Eq. 2).
+
+Rows are outermost in both layouts, so the row-group partitioning of
+Section 4.2.4 maps to contiguous DRAM ranges regardless of mode, and the
+SAVE module can retarget any of the four transforms (WINO/SPAT ->
+WINO/SPAT) while writing one group — exactly the Figure-5 mechanism that
+confines data reordering to the SAVE module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: Layout selector values (= WINO_FLAG encoding).
+SPAT = 0
+WINO = 1
+
+LAYOUT_NAMES = {SPAT: "SPAT", WINO: "WINO"}
+
+
+def channel_vectors(channels: int, lanes: int) -> int:
+    """Number of ``lanes``-wide channel vectors covering ``channels``."""
+    if channels <= 0 or lanes <= 0:
+        raise ShapeError(
+            f"channels={channels} and lanes={lanes} must be positive"
+        )
+    return -(-channels // lanes)
+
+
+def feature_words(channels: int, height: int, width: int, lanes: int) -> int:
+    """Total elements (including channel padding) of a stored feature map."""
+    return channel_vectors(channels, lanes) * lanes * height * width
+
+
+def element_index(
+    layout: int,
+    c: int,
+    y: int,
+    x: int,
+    channels: int,
+    height: int,
+    width: int,
+    lanes: int,
+) -> int:
+    """Linear element offset of logical element ``(c, y, x)``."""
+    if not (0 <= c < channels and 0 <= y < height and 0 <= x < width):
+        raise ShapeError(
+            f"element ({c},{y},{x}) outside {channels}x{height}x{width}"
+        )
+    cv, lane = divmod(c, lanes)
+    n_cv = channel_vectors(channels, lanes)
+    if layout == SPAT:
+        vec = (y * n_cv + cv) * width + x
+    elif layout == WINO:
+        vec = (y * width + x) * n_cv + cv
+    else:
+        raise ShapeError(f"unknown layout {layout}")
+    return vec * lanes + lane
+
+
+def row_base(
+    layout: int, y: int, channels: int, height: int, width: int, lanes: int
+) -> int:
+    """Element offset where row ``y`` starts (rows are outermost)."""
+    if not 0 <= y < height:
+        raise ShapeError(f"row {y} outside height {height}")
+    del layout  # identical for both layouts by construction
+    return y * channel_vectors(channels, lanes) * lanes * width
+
+
+def pack_feature(
+    layout: int, feature: np.ndarray, lanes: int
+) -> np.ndarray:
+    """Linearise a ``(C, H, W)`` feature map into the given layout.
+
+    Channels are zero-padded to a whole number of vectors.  Returns a 1-D
+    float64 array of :func:`feature_words` elements.
+    """
+    feature = np.asarray(feature, dtype=np.float64)
+    if feature.ndim != 3:
+        raise ShapeError(f"feature must be CHW, got {feature.shape}")
+    c, h, w = feature.shape
+    n_cv = channel_vectors(c, lanes)
+    padded = np.zeros((n_cv * lanes, h, w), dtype=np.float64)
+    padded[:c] = feature
+    # (cv, lane, y, x) -> layout order
+    grouped = padded.reshape(n_cv, lanes, h, w)
+    if layout == SPAT:
+        # [row][cv][col][lane]
+        arranged = grouped.transpose(2, 0, 3, 1)
+    elif layout == WINO:
+        # [row][col][cv][lane]
+        arranged = grouped.transpose(2, 3, 0, 1)
+    else:
+        raise ShapeError(f"unknown layout {layout}")
+    return np.ascontiguousarray(arranged).reshape(-1)
+
+
+def unpack_feature(
+    layout: int,
+    words: np.ndarray,
+    channels: int,
+    height: int,
+    width: int,
+    lanes: int,
+) -> np.ndarray:
+    """Inverse of :func:`pack_feature`; returns ``(C, H, W)``."""
+    words = np.asarray(words, dtype=np.float64)
+    n_cv = channel_vectors(channels, lanes)
+    expected = n_cv * lanes * height * width
+    if words.size != expected:
+        raise ShapeError(
+            f"linearised feature has {words.size} elements, "
+            f"expected {expected}"
+        )
+    if layout == SPAT:
+        arranged = words.reshape(height, n_cv, width, lanes)
+        grouped = arranged.transpose(1, 3, 0, 2)
+    elif layout == WINO:
+        arranged = words.reshape(height, width, n_cv, lanes)
+        grouped = arranged.transpose(2, 3, 0, 1)
+    else:
+        raise ShapeError(f"unknown layout {layout}")
+    full = np.ascontiguousarray(grouped).reshape(n_cv * lanes, height, width)
+    return full[:channels].copy()
+
+
+def relayout(
+    words: np.ndarray,
+    src_layout: int,
+    dst_layout: int,
+    channels: int,
+    height: int,
+    width: int,
+    lanes: int,
+) -> np.ndarray:
+    """Reorder a linearised feature between layouts.
+
+    This is the data-path operation behind the SAVE module's four
+    transform modes: ``src_layout`` is the COMP output layout (current
+    layer's WINO_FLAG), ``dst_layout`` the layout expected by the next
+    layer (DST_WINO_FLAG).
+    """
+    if src_layout == dst_layout:
+        return np.asarray(words, dtype=np.float64).copy()
+    feature = unpack_feature(src_layout, words, channels, height, width, lanes)
+    return pack_feature(dst_layout, feature, lanes)

@@ -1,0 +1,202 @@
+"""Functional model of the hybrid Spatial/Winograd PE (Section 4.2.2).
+
+The PE is a ``PT x PT`` array of GEMM cores; each core is a ``PI x PO``
+broadcast array computing one GEMV per cycle.
+
+* **Spatial mode** merges all cores into one ``(PI*PT) x (PO*PT)``
+  broadcast array: per cycle it consumes ``PI*PT`` input channels and
+  produces partial sums for ``PO*PT`` output channels of one pixel.
+* **Winograd mode** assigns core ``(i, j)`` to element ``(i, j)`` of the
+  EWMM in Eq. 2: per cycle the array consumes one transformed input tile
+  column (``PI`` channels x ``PT x PT`` elements) and accumulates ``PO``
+  output channels of the transformed output tile.
+
+The functions below compute whole row-groups at once with numpy (the
+simulator's COMP module calls them), structured so the reduction order
+matches the hardware: channels reduce inside GEMM cores, tile positions
+never mix before the output transform.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.arch.params import AcceleratorConfig
+from repro.winograd.matrices import algorithm_for_tile
+from repro.winograd.transforms import (
+    extract_input_tiles,
+    pad_feature_for_tiling,
+    transform_input,
+    transform_output,
+)
+
+#: Cycles to fill the MAC/transform pipeline once per COMP instruction.
+PIPELINE_DEPTH = 12
+
+
+def gemm_core(weights: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """One GEMM core step: ``(PO, PI) @ (PI,) -> (PO,)`` broadcast GEMV."""
+    weights = np.asarray(weights, dtype=np.float64)
+    vector = np.asarray(vector, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[1] != vector.shape[0]:
+        raise ShapeError(
+            f"GEMM core shapes {weights.shape} x {vector.shape} mismatch"
+        )
+    return weights @ vector
+
+
+def spatial_compute(
+    strip: np.ndarray,
+    kernels: np.ndarray,
+    stride: int,
+    out_rows: int,
+) -> np.ndarray:
+    """Spatial-mode execution over one input strip.
+
+    Parameters
+    ----------
+    strip:
+        ``(C, rows, W_padded)`` input rows (already zero padded).
+    kernels:
+        ``(K_g, C, R, S)`` weight group.
+    stride:
+        Convolution stride.
+    out_rows:
+        Number of output rows this group produces; the strip must hold
+        ``(out_rows - 1) * stride + R`` rows.
+
+    Returns ``(K_g, out_rows, W_out)``.
+    """
+    strip = np.asarray(strip, dtype=np.float64)
+    kernels = np.asarray(kernels, dtype=np.float64)
+    if strip.ndim != 3 or kernels.ndim != 4:
+        raise ShapeError("spatial_compute expects CHW strip and KCRS kernels")
+    c, rows, width = strip.shape
+    k_g, kc, r, s = kernels.shape
+    if kc != c:
+        raise ShapeError(f"channel mismatch {c} vs {kc}")
+    need = (out_rows - 1) * stride + r
+    if rows < need:
+        raise ShapeError(
+            f"strip has {rows} rows, spatial group needs {need}"
+        )
+    out_w = (width - s) // stride + 1
+    out = np.zeros((k_g, out_rows, out_w), dtype=np.float64)
+    # The hardware broadcasts one input pixel-vector per cycle and every
+    # GEMM core accumulates; numerically this is the (dr, ds)-ordered
+    # accumulation below.
+    for dr in range(r):
+        for ds in range(s):
+            patch = strip[
+                :,
+                dr : dr + (out_rows - 1) * stride + 1 : stride,
+                ds : ds + (out_w - 1) * stride + 1 : stride,
+            ]
+            out += np.einsum(
+                "kc,chw->khw", kernels[:, :, dr, ds], patch, optimize=True
+            )
+    return out
+
+
+def winograd_compute(
+    strip: np.ndarray,
+    transformed: np.ndarray,
+    pt: int,
+    out_w: int = None,
+) -> Tuple[np.ndarray, int]:
+    """Winograd-mode execution over one tile-row strip for one
+    decomposition block.
+
+    Parameters
+    ----------
+    strip:
+        ``(C, rows, W_padded)`` input rows covering one tile row — at
+        least ``PT`` rows (extra rows are ignored: they belong to the
+        next tile row's overlap).
+    transformed:
+        ``(K_g, C, PT, PT)`` offline-transformed weights ``U = G g G^T``
+        of this decomposition block.
+    pt:
+        Tile edge (selects F(2x2,3x3) or F(4x4,3x3)).
+    out_w:
+        Output columns to produce.  Shifted windows of a decomposed
+        kernel can be narrower than the full output; the missing
+        columns multiply the block's zero padding, so the window is
+        zero-extended (default: as many as the window yields).
+
+    Returns
+    -------
+    (partial, n_tiles):
+        ``partial`` is ``(K_g, m, n_tiles * m)`` — the *partial* output
+        rows of this block (callers accumulate across blocks);
+        ``n_tiles`` is the tile count along the width (one GEMM-array
+        pass each).
+    """
+    strip = np.asarray(strip, dtype=np.float64)
+    transformed = np.asarray(transformed, dtype=np.float64)
+    alg = algorithm_for_tile(pt)
+    if strip.ndim != 3:
+        raise ShapeError("winograd_compute expects a CHW strip")
+    c = strip.shape[0]
+    if transformed.shape[1:] != (c, pt, pt):
+        raise ShapeError(
+            f"transformed weights {transformed.shape} do not match "
+            f"C={c}, PT={pt}"
+        )
+    if strip.shape[1] < pt:
+        raise ShapeError(
+            f"strip has {strip.shape[1]} rows, Winograd needs {pt}"
+        )
+    window = strip[:, :pt, :]
+    if out_w is None:
+        out_w = window.shape[2] - alg.r + 1
+    window = pad_feature_for_tiling(alg, window, alg.m, out_w)
+    tiles = extract_input_tiles(alg, window)  # (C, 1, n_tiles, PT, PT)
+    v = transform_input(alg, tiles)
+    # Eq. 2: core (i, j) computes the GEMM over channels for element
+    # (i, j); all PT*PT cores run the same (K_g x C) GEMV schedule.
+    ewmm = np.einsum("kcij,cyxij->kyxij", transformed, v, optimize=True)
+    y = transform_output(alg, ewmm)  # (K_g, 1, n_tiles, m, m)
+    n_tiles = y.shape[2]
+    partial = (
+        y[:, 0].transpose(0, 2, 1, 3).reshape(y.shape[0], alg.m, n_tiles * alg.m)
+    )
+    return partial, n_tiles
+
+
+# -- cycle models ------------------------------------------------------------
+
+
+def spatial_cycles(
+    cfg: AcceleratorConfig,
+    k_g: int,
+    c: int,
+    r: int,
+    s: int,
+    out_rows: int,
+    out_w: int,
+) -> int:
+    """Cycles for one Spatial COMP instruction.
+
+    One GEMV per cycle over the merged ``(PI*PT) x (PO*PT)`` array.  The
+    reduction dimension is the flattened ``C x R x S`` (im2col order), so
+    lane padding costs at most one step per output — plus the output
+    channels rounded to whole ``PO*PT`` vectors.  These ceilings are the
+    discretisation the analytical Eq. 6 ignores, one source of its
+    estimation error.
+    """
+    red_steps = -(-(c * r * s) // cfg.spatial_input_lanes)
+    oc_steps = -(-k_g // cfg.spatial_output_lanes)
+    return red_steps * oc_steps * out_rows * out_w + PIPELINE_DEPTH
+
+
+def winograd_cycles(cfg: AcceleratorConfig, k_g: int, c: int, n_tiles: int) -> int:
+    """Cycles for one Winograd COMP instruction (one decomposition block,
+    one tile row): each GEMM core performs ``ceil(C/PI) * ceil(K_g/PO)``
+    GEMVs per tile."""
+    ic_steps = -(-c // cfg.pi)
+    oc_steps = -(-k_g // cfg.po)
+    return ic_steps * oc_steps * n_tiles + PIPELINE_DEPTH

@@ -1,0 +1,15 @@
+"""Baselines for the evaluation.
+
+``published``
+    The prior-work data points of Table 4 ([26] TGPA, [4], [6]
+    Cloud-DNN), entered verbatim from the paper for comparison rows.
+``spatial_only``
+    The conventional spatial-only accelerator — same PE array without
+    the hybrid (Winograd) support — used for the Section-6.1 overhead
+    ablation and as the algorithmic baseline in the Figure-6 sweeps.
+"""
+
+from repro.baselines.published import PUBLISHED, PublishedDesign
+from repro.baselines.spatial_only import spatial_only_estimate
+
+__all__ = ["PUBLISHED", "PublishedDesign", "spatial_only_estimate"]

@@ -1,0 +1,110 @@
+"""Published prior-work numbers (Table 4 of the paper).
+
+These are the comparison rows exactly as the paper reports them; they
+are *data*, not measurements of our substrate, and are used only to
+regenerate Table 4's relative claims (1.8x GOPS, 2.0x energy
+efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PublishedDesign:
+    """One prior-work column of Table 4."""
+
+    key: str
+    citation: str
+    device: str
+    model: str
+    precision: str
+    frequency_mhz: float
+    dsps: int
+    gops: float
+    power_w: Optional[float]
+
+    @property
+    def dsp_efficiency(self) -> float:
+        """GOPS per DSP."""
+        return self.gops / self.dsps if self.dsps else 0.0
+
+    @property
+    def energy_efficiency(self) -> Optional[float]:
+        """GOPS per watt."""
+        if self.power_w is None:
+            return None
+        return self.gops / self.power_w
+
+
+PUBLISHED: Tuple[PublishedDesign, ...] = (
+    PublishedDesign(
+        key="tgpa",
+        citation="[26] Wei et al., TGPA (ICCAD 2018)",
+        device="Xilinx VU9P",
+        model="VGG16",
+        precision="16-bit",
+        frequency_mhz=210.0,
+        dsps=4096,
+        gops=1510.0,
+        power_w=None,
+    ),
+    PublishedDesign(
+        key="opencl-a10",
+        citation="[4] Zhang & Li (FPGA 2017)",
+        device="Arria10 GX1150",
+        model="VGG16",
+        precision="16-bit",
+        frequency_mhz=385.0,
+        dsps=2756,
+        gops=1790.0,
+        power_w=37.5,
+    ),
+    PublishedDesign(
+        key="cloud-dnn",
+        citation="[6] Chen et al., Cloud-DNN (FPGA 2019)",
+        device="Xilinx VU9P",
+        model="VGG16",
+        precision="16-bit",
+        frequency_mhz=214.0,
+        dsps=5349,
+        gops=1828.6,
+        power_w=49.3,
+    ),
+)
+
+#: The paper's own measured results for context in reports.
+PAPER_RESULTS = {
+    "vu9p": PublishedDesign(
+        key="hybriddnn-vu9p",
+        citation="HybridDNN (this paper), VU9P",
+        device="Xilinx VU9P",
+        model="VGG16",
+        precision="12-bit*",
+        frequency_mhz=167.0,
+        dsps=5163,
+        gops=3375.7,
+        power_w=45.9,
+    ),
+    "pynq-z1": PublishedDesign(
+        key="hybriddnn-pynq",
+        citation="HybridDNN (this paper), PYNQ-Z1",
+        device="PYNQ-Z1",
+        model="VGG16",
+        precision="12-bit*",
+        frequency_mhz=100.0,
+        dsps=220,
+        gops=83.3,
+        power_w=2.6,
+    ),
+}
+
+
+def best_prior(device: str = "Xilinx VU9P") -> PublishedDesign:
+    """Best published GOPS on ``device`` (the 1.8x comparison point)."""
+    rows = [p for p in PUBLISHED if p.device == device]
+    if not rows:
+        rows = list(PUBLISHED)
+    return max(rows, key=lambda p: p.gops)

@@ -1,0 +1,242 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the framework's steps:
+
+* ``devices`` — list the FPGA catalog.
+* ``models`` — list the model zoo.
+* ``dse`` — explore a model on a device and print the selection.
+* ``compile`` — compile a model and write program.bin / program.asm.
+* ``simulate`` — run the cycle-approximate simulation end to end.
+* ``emit-hls`` — write the HLS project for a DSE-selected design.
+* ``experiments`` — regenerate a paper table/figure by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.compiler import CompilerOptions, compile_network
+from repro.dse import run_dse
+from repro.dse.space import DseOptions
+from repro.errors import ReproError
+from repro.estimator import estimate_resources
+from repro.fpga import DEVICES, get_device
+from repro.hls import HlsConfig, emit_project
+from repro.ir import load_network, zoo
+from repro.isa import disassemble
+from repro.runtime import HostRuntime, generate_parameters
+
+
+def _load_model(spec: str):
+    """A zoo name or a path to a model JSON."""
+    if spec in zoo.MODELS:
+        return zoo.get_model(spec)
+    path = Path(spec)
+    if path.exists():
+        return load_network(path)
+    raise ReproError(
+        f"unknown model {spec!r}: not in the zoo {sorted(zoo.MODELS)} "
+        "and no such file"
+    )
+
+
+def _cmd_devices(_args) -> int:
+    for name in sorted(DEVICES):
+        print(f"{name:10s} {DEVICES[name]}")
+    return 0
+
+
+def _cmd_models(_args) -> int:
+    for name in sorted(zoo.MODELS):
+        net = zoo.get_model(name)
+        print(
+            f"{name:12s} {len(net)} layers, "
+            f"{net.total_macs / 1e9:.2f} GMACs, input {net.input_shape}"
+        )
+    return 0
+
+
+def _run_dse(args):
+    device = get_device(args.device)
+    network = _load_model(args.model)
+    options = DseOptions(
+        objective=args.objective,
+        max_instances=args.max_instances,
+    )
+    return device, network, run_dse(device, network, options)
+
+
+def _cmd_dse(args) -> int:
+    device, _, result = _run_dse(args)
+    print(result.summary())
+    util = result.total.utilisation(device.resources)
+    print("utilisation: " + ", ".join(
+        f"{k} {v * 100:.1f}%" for k, v in util.items()
+    ))
+    if args.verbose:
+        print("\nper-layer mapping:")
+        for m in result.mapping:
+            print(f"  {m.layer_name:14s} {m.mode}-{m.dataflow}")
+    return 0
+
+
+def _compile(args):
+    device, network, result = _run_dse(args)
+    params = generate_parameters(network, seed=args.seed)
+    compiled = compile_network(
+        network, result.cfg, result.mapping, params,
+        CompilerOptions(quantize=not args.exact),
+    )
+    return device, network, result, params, compiled
+
+
+def _cmd_compile(args) -> int:
+    _, _, _, _, compiled = _compile(args)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    for index, program in enumerate(compiled.programs()):
+        stem = f"program{index}" if index else "program"
+        program.save(out / f"{stem}.bin")
+        (out / f"{stem}.asm").write_text(disassemble(program))
+    print(
+        f"wrote {compiled.total_instructions} instructions across "
+        f"{len(compiled.programs())} segment(s) to {out}"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    device, network, result, params, compiled = _compile(args)
+    runtime = HostRuntime(compiled, device, functional=args.functional)
+    image = np.zeros(network.input_shape.as_tuple())
+    sim = runtime.infer(image).sim
+    ops = sum(i.ops for i in network.compute_layers())
+    print(
+        f"{network.name} on {device.name}: "
+        f"{sim.seconds * 1e3:.2f} ms/image/instance, "
+        f"{ops / sim.seconds / 1e9 * result.cfg.instances:.1f} GOPS "
+        f"aggregate, {sim.instructions} instructions"
+    )
+    for name, stats in sim.modules.items():
+        print(f"  {name:9s} {stats.utilisation(sim.cycles) * 100:5.1f}% busy")
+    return 0
+
+
+def _cmd_emit_hls(args) -> int:
+    device, network, result = _run_dse(args)
+    files = emit_project(
+        HlsConfig.from_config(result.cfg, device, network.name),
+        args.output,
+    )
+    resources = estimate_resources(result.cfg, device)
+    print(f"design: {result.cfg.describe()}")
+    print(f"estimated resources: {resources}")
+    for name, path in files.items():
+        print(f"wrote {name}: {path}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import (
+        ablation,
+        estimation_error,
+        instruction_stats,
+        overhead,
+        roofline_study,
+        scalability,
+        table3,
+        table4,
+        vgg16_case,
+    )
+    from repro.experiments import figure6 as fig6
+
+    registry = {
+        "table3": table3.main,
+        "table4": table4.main,
+        "figure6": lambda: (fig6.main("vu9p"), fig6.main("pynq-z1")),
+        "estimation-error": estimation_error.main,
+        "overhead": overhead.main,
+        "vgg16-case": vgg16_case.main,
+        "ablation": ablation.main,
+        "scalability": scalability.main,
+        "roofline": roofline_study.main,
+        "instruction-stats": instruction_stats.main,
+    }
+    if args.name not in registry:
+        print(f"unknown experiment {args.name!r}; "
+              f"available: {sorted(registry)}", file=sys.stderr)
+        return 2
+    registry[args.name]()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HybridDNN reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list FPGA catalog").set_defaults(
+        func=_cmd_devices
+    )
+    sub.add_parser("models", help="list model zoo").set_defaults(
+        func=_cmd_models
+    )
+
+    def add_common(p):
+        p.add_argument("--device", default="pynq-z1",
+                       help="FPGA catalog name")
+        p.add_argument("--model", default="vgg16",
+                       help="zoo model name or model JSON path")
+        p.add_argument("--objective", default="throughput",
+                       choices=("throughput", "latency"))
+        p.add_argument("--max-instances", type=int, default=None)
+        p.add_argument("--seed", type=int, default=2020)
+        p.add_argument("--exact", action="store_true",
+                       help="disable fixed-point quantisation")
+
+    p = sub.add_parser("dse", help="run design space exploration")
+    add_common(p)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_dse)
+
+    p = sub.add_parser("compile", help="compile to instruction stream")
+    add_common(p)
+    p.add_argument("-o", "--output", default="build")
+    p.set_defaults(func=_cmd_compile)
+
+    p = sub.add_parser("simulate", help="simulate end to end")
+    add_common(p)
+    p.add_argument("--functional", action="store_true",
+                   help="move real data (slower)")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("emit-hls", help="emit the HLS project")
+    add_common(p)
+    p.add_argument("-o", "--output", default="hls_project")
+    p.set_defaults(func=_cmd_emit_hls)
+
+    p = sub.add_parser("experiments", help="regenerate a paper artifact")
+    p.add_argument("name", help="table3|table4|figure6|estimation-error|"
+                                "overhead|vgg16-case|ablation")
+    p.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

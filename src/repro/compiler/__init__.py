@@ -1,0 +1,34 @@
+"""The HybridDNN compiler (framework Step 3, software side).
+
+Translates a network + mapping strategy into:
+
+* a :class:`~repro.isa.program.Program` (the "Inst. files" of Figure 1),
+* packed weight/bias data images with the offline Winograd weight
+  transform applied (the "Data files"),
+* a DRAM allocation plan and an execution plan interleaving accelerator
+  segments with the few host-side operations (flatten, overlapping
+  pooling) the accelerator does not implement.
+
+Public API
+----------
+``compile_network`` -> :class:`CompiledModel`
+"""
+
+from repro.compiler.codegen import (
+    AccelStep,
+    CompiledModel,
+    CompilerOptions,
+    HostStep,
+    compile_network,
+)
+from repro.compiler.data import pack_bias, pack_weights
+
+__all__ = [
+    "AccelStep",
+    "CompiledModel",
+    "CompilerOptions",
+    "HostStep",
+    "compile_network",
+    "pack_bias",
+    "pack_weights",
+]

@@ -1,0 +1,204 @@
+"""Weight / bias data packing — the framework's "Data files".
+
+Weights are packed in exactly the order the LOAD_WGT module streams
+them: ``[k-group][c-group][block][k][c][coeff...]``.  For Winograd
+layers the offline transform ``U = G g G^T`` (Section 4.2.3) is applied
+per decomposition block before packing, and the transformed
+coefficients are quantised to the weight data type (the paper quantises
+DNN parameters to 8 bits, Table 4 footnote).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.arch.params import AcceleratorConfig
+from repro.ir.tensor import DataType
+from repro.mapping.partition import LayerPartition, c_groups, k_groups
+from repro.winograd.decompose import decompose_kernel
+from repro.winograd.matrices import algorithm_for_tile
+from repro.winograd.transforms import transform_weight
+
+
+@dataclass(frozen=True)
+class WeightGroupSlot:
+    """Location of one (k-group, c-group) inside the packed image."""
+
+    k0: int
+    k_count: int
+    c0: int
+    c_count: int
+    offset: int  # element offset inside the layer's weight region
+    elems: int
+    shape: Tuple[int, ...]  # logical shape of the stored block
+
+
+@dataclass(frozen=True)
+class PackedWeights:
+    """One layer's weight image plus its group directory.
+
+    ``image`` may be empty when packed with ``data=False``;
+    ``total_elems`` always reflects the full image size.
+
+    ``scales`` (Winograd + quantised only) holds one power-of-two
+    factor per (decomposition block, tile row, tile col): transformed
+    coefficients are stored divided by their position's scale so the
+    8-bit grid is well used, and the PE re-applies the scale as a shift
+    before the output transform — the per-position block quantisation
+    behind the paper's "correction term related to quantization
+    strategies" (Eq. 3's alpha).
+    """
+
+    layer_name: str
+    mode: str
+    image: np.ndarray  # flat float64 (already quantised values)
+    slots: List[WeightGroupSlot]
+    total_elems: int = 0
+    scales: Optional[np.ndarray] = None  # (blocks, PT, PT) or None
+
+    @property
+    def elems(self) -> int:
+        return self.total_elems or int(self.image.size)
+
+    def slot(self, k0: int, c0: int) -> WeightGroupSlot:
+        for slot in self.slots:
+            if slot.k0 == k0 and slot.c0 == c0:
+                return slot
+        raise CompileError(
+            f"{self.layer_name}: no weight slot at k0={k0} c0={c0}"
+        )
+
+
+def _scale_per_position(
+    stacked: np.ndarray, weight_type: DataType
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise transformed weights per EWMM position.
+
+    For each (block, tile-row, tile-col) the coefficients across K and C
+    are divided by a power-of-two scale so their maximum sits just
+    inside the representable range; the PE undoes the scale with a
+    shift.  Without this, the small G-matrix entries of F(4x4,3x3)
+    (1/24) push coefficients below the 8-bit LSB.
+    """
+    # stacked: (blocks, K, C, PT, PT)
+    maxima = np.abs(stacked).max(axis=(1, 2))  # (blocks, PT, PT)
+    maxima = np.where(maxima > 0, maxima, 1.0)
+    exponents = np.ceil(np.log2(maxima / weight_type.max_value))
+    scales = np.power(2.0, exponents)
+    return stacked / scales[:, None, None], scales
+
+
+def pack_weights(
+    cfg: AcceleratorConfig,
+    partition: LayerPartition,
+    kernels: np.ndarray,
+    weight_type: Optional[DataType],
+    data: bool = True,
+) -> PackedWeights:
+    """Pack (and, for Winograd, transform) one layer's kernels.
+
+    ``kernels`` has shape ``(K, C, R, S)`` (Dense layers pass their
+    ``(K, C, 1, 1)`` view).  ``weight_type=None`` packs exact float64
+    values (used by functional equivalence tests).  ``data=False``
+    computes only the group directory (offsets/sizes) without
+    materialising the image — enough for timing-only simulation of
+    large sweeps.
+    """
+    kernels = np.asarray(kernels, dtype=np.float64)
+    k, c, r, s = kernels.shape
+    if (k, c) != (partition.out_channels, partition.channels):
+        raise CompileError(
+            f"{partition.layer_name}: kernels {kernels.shape} do not match "
+            f"partition K={partition.out_channels} C={partition.channels}"
+        )
+    if (r, s) != partition.kernel:
+        raise CompileError(
+            f"{partition.layer_name}: kernel size {(r, s)} != "
+            f"{partition.kernel}"
+        )
+
+    scales = None
+    if partition.mode == "wino":
+        coeff_shape = (cfg.pt, cfg.pt)
+        if data:
+            alg = algorithm_for_tile(cfg.pt)
+            blocks = decompose_kernel(kernels, alg.r)
+            if tuple(offset for offset, _ in blocks) != partition.blocks:
+                raise CompileError(
+                    f"{partition.layer_name}: decomposition mismatch"
+                )
+            transformed = [
+                transform_weight(alg, block) for _, block in blocks
+            ]
+            # (n_blocks, K, C, PT, PT)
+            stacked = np.stack(transformed, axis=0)
+            if weight_type is not None:
+                stacked, scales = _scale_per_position(stacked, weight_type)
+    else:
+        coeff_shape = (r, s)
+        if data:
+            stacked = kernels[None]  # (1, K, C, R, S)
+
+    if data and weight_type is not None:
+        stacked = weight_type.quantize(stacked)
+
+    pieces = []
+    slots = []
+    offset = 0
+    coeffs = coeff_shape[0] * coeff_shape[1]
+    for k0, k_count in k_groups(partition):
+        for c0, c_count in c_groups(partition):
+            elems = len(partition.blocks) * k_count * c_count * coeffs
+            slots.append(
+                WeightGroupSlot(
+                    k0=k0,
+                    k_count=k_count,
+                    c0=c0,
+                    c_count=c_count,
+                    offset=offset,
+                    elems=elems,
+                    shape=(len(partition.blocks), k_count, c_count)
+                    + coeff_shape,
+                )
+            )
+            if data:
+                # stream order: [block][k][c][coeff]
+                block = stacked[:, k0 : k0 + k_count, c0 : c0 + c_count]
+                pieces.append(np.ascontiguousarray(block).reshape(-1))
+            offset += elems
+    if data:
+        image = np.concatenate(pieces) if pieces else np.zeros(0)
+    else:
+        image = np.zeros(0)
+    return PackedWeights(
+        layer_name=partition.layer_name,
+        mode=partition.mode,
+        image=image,
+        slots=slots,
+        total_elems=offset,
+        scales=scales,
+    )
+
+
+def pack_bias(
+    partition: LayerPartition,
+    bias: Optional[np.ndarray],
+    accum_type: Optional[DataType] = None,
+) -> np.ndarray:
+    """Flat bias image (zeros when the layer has no bias)."""
+    k = partition.out_channels
+    if bias is None:
+        return np.zeros(k, dtype=np.float64)
+    bias = np.asarray(bias, dtype=np.float64).reshape(-1)
+    if bias.size != k:
+        raise CompileError(
+            f"{partition.layer_name}: bias has {bias.size} entries, "
+            f"expected {k}"
+        )
+    if accum_type is not None:
+        bias = accum_type.quantize(bias)
+    return bias.copy()

@@ -1,0 +1,164 @@
+"""DSE Steps 2 and 3: per-layer mapping and candidate selection.
+
+Step 2 evaluates, for a fixed hardware candidate, every compute layer
+under the four (mode x dataflow) combinations with the Eq. 12-15 model
+and keeps the argmin — the per-layer design choices are independent
+given the hardware, so this is exact, not heuristic.  Step 3 ranks the
+candidates by the chosen objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.arch.params import AcceleratorConfig
+from repro.errors import DseError, ReproError
+from repro.estimator.calibration import CalibrationProfile, get_calibration
+from repro.estimator.latency import (
+    NetworkEstimate,
+    estimate_layer,
+    estimate_network,
+)
+from repro.fpga.device import FpgaDevice
+from repro.fpga.resources import ResourceBudget
+from repro.ir.graph import Network
+from repro.mapping.partition import fused_pool_for
+from repro.mapping.strategy import (
+    DATAFLOWS,
+    MODES,
+    LayerMapping,
+    NetworkMapping,
+    winograd_supported,
+)
+from repro.dse.space import DseOptions, HardwareCandidate, explore_hardware
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """The selected design point."""
+
+    device_name: str
+    cfg: AcceleratorConfig
+    mapping: NetworkMapping
+    estimate: NetworkEstimate
+    per_instance: ResourceBudget
+    total: ResourceBudget
+    candidates_considered: int
+    runners_up: Tuple["DseResult", ...] = ()
+
+    @property
+    def throughput_gops(self) -> float:
+        return self.estimate.gops
+
+    @property
+    def latency_ms(self) -> float:
+        return self.estimate.latency * 1e3
+
+    def summary(self) -> str:
+        counts = self.mapping.counts()
+        return (
+            f"{self.device_name}: {self.cfg.describe()}\n"
+            f"  latency {self.latency_ms:.2f} ms/image, "
+            f"{self.throughput_gops:.1f} GOPS aggregate\n"
+            f"  resources {self.total}\n"
+            f"  modes: {counts['wino']} wino / {counts['spat']} spat; "
+            f"dataflows: {counts['is']} IS / {counts['ws']} WS"
+        )
+
+
+def map_network(
+    cfg: AcceleratorConfig,
+    device: FpgaDevice,
+    network: Network,
+    cal: Optional[CalibrationProfile] = None,
+) -> Tuple[NetworkMapping, NetworkEstimate]:
+    """Step 2: best (mode, dataflow) per layer for a fixed candidate.
+
+    Raises :class:`DseError` when some layer fits no combination (e.g.
+    buffers too small for even one group).
+    """
+    if cal is None:
+        cal = get_calibration(device.name)
+    selections: List[LayerMapping] = []
+    for info in network.compute_layers():
+        pool = fused_pool_for(network, info.index)
+        best = None
+        for mode in MODES:
+            if mode == "wino" and not winograd_supported(info):
+                continue
+            for dataflow in DATAFLOWS:
+                try:
+                    est = estimate_layer(
+                        cfg, device, info, mode, dataflow, cal, pool
+                    )
+                except ReproError:
+                    continue
+                if best is None or est.latency < best[0]:
+                    best = (est.latency, mode, dataflow)
+        if best is None:
+            raise DseError(
+                f"layer {info.layer.name!r} fits no (mode, dataflow) on "
+                f"{device.name} with {cfg.describe()}"
+            )
+        selections.append(LayerMapping(info.layer.name, best[1], best[2]))
+    mapping = NetworkMapping(network.name, selections)
+    estimate = estimate_network(cfg, device, network, mapping, cal)
+    return mapping, estimate
+
+
+def _objective(estimate: NetworkEstimate, objective: str) -> float:
+    """Lower is better."""
+    if objective == "latency":
+        return estimate.latency
+    if objective == "throughput":
+        return -estimate.gops
+    raise DseError(f"unknown objective {objective!r}")
+
+
+def run_dse(
+    device: FpgaDevice,
+    network: Network,
+    options: Optional[DseOptions] = None,
+    cal: Optional[CalibrationProfile] = None,
+) -> DseResult:
+    """Full 3-step DSE; returns the best design point (with runners-up
+    in ``runners_up`` for inspection)."""
+    options = options or DseOptions()
+    if cal is None:
+        cal = get_calibration(device.name)
+    candidates = explore_hardware(device, options, cal)
+    scored: List[Tuple[float, HardwareCandidate, NetworkMapping,
+                       NetworkEstimate]] = []
+    for candidate in candidates:
+        try:
+            mapping, estimate = map_network(
+                candidate.cfg, device, network, cal
+            )
+        except DseError:
+            continue
+        scored.append(
+            (_objective(estimate, options.objective), candidate, mapping,
+             estimate)
+        )
+    if not scored:
+        raise DseError(
+            f"no candidate can run {network.name!r} on {device.name}"
+        )
+    scored.sort(key=lambda item: item[0])
+
+    def to_result(item, runners=()) -> DseResult:
+        _, candidate, mapping, estimate = item
+        return DseResult(
+            device_name=device.name,
+            cfg=candidate.cfg,
+            mapping=mapping,
+            estimate=estimate,
+            per_instance=candidate.per_instance,
+            total=candidate.total,
+            candidates_considered=len(candidates),
+            runners_up=tuple(runners),
+        )
+
+    runners = [to_result(item) for item in scored[1 : options.top_k]]
+    return to_result(scored[0], runners)

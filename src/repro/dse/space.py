@@ -1,0 +1,115 @@
+"""Hardware-candidate enumeration (DSE Step 1).
+
+For each supported tile size ``PT`` the parallel factors ``PI >= PO``
+are grown until the Table-2 resource constraints fail on one die; the
+instance count ``NI`` then ranges up to ``instances-per-die x dies``
+(instances never straddle dies — the paper places two per VU9P die).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.arch.params import SUPPORTED_PT, AcceleratorConfig
+from repro.errors import DseError
+from repro.estimator.calibration import CalibrationProfile, get_calibration
+from repro.estimator.resources import estimate_resources, instances_per_die
+from repro.fpga.device import FpgaDevice
+from repro.fpga.resources import ResourceBudget
+
+#: Parallel-factor values explored (powers of two, the hardware-friendly
+#: choice for broadcast trees).
+PARALLEL_FACTORS = (1, 2, 4, 8, 16, 32)
+
+
+@dataclass(frozen=True)
+class DseOptions:
+    """Knobs of the exploration."""
+
+    max_instances: Optional[int] = None
+    frequency_mhz: Optional[float] = None  # default: device frequency
+    data_width: int = 12
+    weight_width: int = 8
+    objective: str = "throughput"  # "throughput" | "latency"
+    buffer_presets: Optional[Tuple[int, int, int]] = None
+    top_k: int = 5
+
+
+@dataclass(frozen=True)
+class HardwareCandidate:
+    """One feasible hardware configuration."""
+
+    cfg: AcceleratorConfig
+    per_instance: ResourceBudget
+    total: ResourceBudget
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.cfg.macs_per_cycle * self.cfg.instances
+
+
+def default_buffers(device: FpgaDevice) -> Tuple[int, int, int]:
+    """(input, weight, output) ping-pong half sizes in channel vectors.
+
+    Cloud-class parts get the large preset the VU9P design uses; small
+    embedded parts get a quarter of it.
+    """
+    if device.resources.brams >= 1000:
+        return (32768, 16384, 16384)
+    return (8192, 4096, 4096)
+
+
+def explore_hardware(
+    device: FpgaDevice,
+    options: Optional[DseOptions] = None,
+    cal: Optional[CalibrationProfile] = None,
+) -> List[HardwareCandidate]:
+    """Enumerate all feasible (PT, PI, PO, NI) combinations."""
+    options = options or DseOptions()
+    if cal is None:
+        cal = get_calibration(device.name)
+    freq = options.frequency_mhz or device.frequency_mhz
+    buffers = options.buffer_presets or default_buffers(device)
+    candidates: List[HardwareCandidate] = []
+    for pt in SUPPORTED_PT:
+        for pi in PARALLEL_FACTORS:
+            for po in PARALLEL_FACTORS:
+                if po > pi:
+                    continue  # Table-2: PI >= PO >= 1
+                base = AcceleratorConfig(
+                    pi=pi,
+                    po=po,
+                    pt=pt,
+                    data_width=options.data_width,
+                    weight_width=options.weight_width,
+                    instances=1,
+                    input_buffer_vecs=buffers[0],
+                    weight_buffer_vecs=buffers[1],
+                    output_buffer_vecs=buffers[2],
+                    frequency_mhz=freq,
+                )
+                per_die = instances_per_die(base, device, cal)
+                if per_die < 1:
+                    continue
+                max_ni = per_die * device.dies
+                if options.max_instances is not None:
+                    max_ni = min(max_ni, options.max_instances)
+                for ni in range(1, max_ni + 1):
+                    cfg = replace(base, instances=ni)
+                    one = estimate_resources(
+                        cfg, device, cal, per_instance=True
+                    )
+                    total = one * ni
+                    if not total.fits_in(device.resources):
+                        break
+                    candidates.append(
+                        HardwareCandidate(
+                            cfg=cfg, per_instance=one, total=total
+                        )
+                    )
+    if not candidates:
+        raise DseError(
+            f"no feasible accelerator configuration for {device.name}"
+        )
+    return candidates

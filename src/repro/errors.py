@@ -1,0 +1,49 @@
+"""Exception hierarchy for the HybridDNN reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch framework failures without masking programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ShapeError(ReproError):
+    """A tensor shape is inconsistent with the operation applied to it."""
+
+
+class GraphError(ReproError):
+    """A network graph is malformed (dangling edge, cycle, bad wiring)."""
+
+
+class UnsupportedLayerError(ReproError):
+    """The accelerator / compiler cannot map this layer type."""
+
+
+class DeviceError(ReproError):
+    """Unknown FPGA device or inconsistent device specification."""
+
+
+class ResourceError(ReproError):
+    """A configuration exceeds the resource budget of the target device."""
+
+
+class EncodingError(ReproError):
+    """An instruction field is out of range or a word fails to decode."""
+
+
+class CompileError(ReproError):
+    """The compiler cannot produce a valid instruction stream."""
+
+
+class SimulationError(ReproError):
+    """The simulator detected an inconsistency (hazard, bad token, ...)."""
+
+
+class DseError(ReproError):
+    """Design space exploration failed (empty space, bad constraints)."""
+
+
+class RuntimeHostError(ReproError):
+    """The host runtime was used incorrectly (missing program/data)."""

@@ -1,0 +1,67 @@
+"""Board power model for the energy-efficiency rows of Table 4.
+
+Power is modelled as a device-static base plus per-resource dynamic
+coefficients::
+
+    P = P_static(device) + c_dsp * N_DSP + c_bram * N_BRAM + c_lut * N_LUT
+
+The dynamic coefficients are global (they describe the silicon
+process); the static terms absorb each board's infrastructure (DDR,
+PCIe, PS).  Calibrated so the paper's measured board powers fall out of
+the paper's Table-3 utilisations:
+
+* VU9P @ 45.9 W with 5163 DSP / 3169 BRAM / 706k LUT,
+* PYNQ-Z1 @ 2.6 W with 220 DSP / 277 BRAM / 37k LUT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.fpga.device import FpgaDevice
+from repro.fpga.resources import ResourceBudget
+
+#: Dynamic power per occupied resource (watts).
+C_DSP = 4.0e-3
+C_BRAM = 3.0e-3
+C_LUT = 20.0e-6
+
+#: Board infrastructure power (watts).
+STATIC_POWER = {
+    "vu9p": 1.7,  # PCIe card: DDR4 + PCIe + shell
+    "pynq-z1": 0.15,  # SoC board: PS + DDR3
+    "zcu102": 4.0,
+    "ku115": 3.0,
+}
+DEFAULT_STATIC_W = 2.0
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Breakdown of the modelled board power."""
+
+    static_w: float
+    dsp_w: float
+    bram_w: float
+    lut_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.static_w + self.dsp_w + self.bram_w + self.lut_w
+
+
+def estimate_power(
+    resources: ResourceBudget, device: FpgaDevice
+) -> PowerEstimate:
+    """Board power of a design occupying ``resources`` on ``device``."""
+    if not resources.fits_in(device.resources):
+        raise DeviceError(
+            f"resources {resources} exceed {device.name} capacity"
+        )
+    return PowerEstimate(
+        static_w=STATIC_POWER.get(device.name, DEFAULT_STATIC_W),
+        dsp_w=C_DSP * resources.dsps,
+        bram_w=C_BRAM * resources.brams,
+        lut_w=C_LUT * resources.luts,
+    )

@@ -1,0 +1,37 @@
+"""Experiment drivers — one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning structured rows and
+a ``main()`` that prints the corresponding table; the ``benchmarks/``
+directory wires them into pytest-benchmark.  The mapping from paper
+artifact to module is the experiment index in DESIGN.md.
+"""
+
+from repro.experiments import common
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.estimation_error import run_estimation_error
+from repro.experiments.overhead import run_overhead
+from repro.experiments.vgg16_case import run_vgg16_case
+from repro.experiments.ablation import (
+    run_bandwidth_ablation,
+    run_dataflow_ablation,
+)
+from repro.experiments.scalability import run_scalability
+from repro.experiments.roofline_study import run_roofline_study
+from repro.experiments.instruction_stats import run_instruction_stats
+
+__all__ = [
+    "common",
+    "run_bandwidth_ablation",
+    "run_dataflow_ablation",
+    "run_estimation_error",
+    "run_figure6",
+    "run_instruction_stats",
+    "run_overhead",
+    "run_roofline_study",
+    "run_scalability",
+    "run_table3",
+    "run_table4",
+    "run_vgg16_case",
+]

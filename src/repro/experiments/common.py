@@ -1,0 +1,73 @@
+"""Shared experiment plumbing.
+
+``paper_config`` returns the exact VGG16 case-study configurations
+(which the DSE also discovers on its own — checked by the vgg16_case
+experiment); ``simulate_network`` compiles and runs a network on the
+cycle-approximate simulator, returning the merged timing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.arch.params import AcceleratorConfig
+from repro.compiler import CompilerOptions, compile_network
+from repro.errors import DeviceError
+from repro.fpga import FpgaDevice, get_device
+from repro.ir.graph import Network
+from repro.mapping.strategy import NetworkMapping
+from repro.runtime import HostRuntime, generate_parameters
+from repro.sim.simulator import SimulationResult
+
+#: Buffer presets (input, weight, output ping-pong halves, in vectors).
+CLOUD_BUFFERS = (32768, 16384, 16384)
+EMBEDDED_BUFFERS = (8192, 4096, 4096)
+
+
+def paper_config(device_name: str) -> Tuple[AcceleratorConfig, FpgaDevice]:
+    """The paper's Section-6.1 configuration for ``device_name``."""
+    device = get_device(device_name)
+    if device.name == "vu9p":
+        cfg = AcceleratorConfig(
+            pi=4, po=4, pt=6, instances=6, frequency_mhz=167.0,
+            input_buffer_vecs=CLOUD_BUFFERS[0],
+            weight_buffer_vecs=CLOUD_BUFFERS[1],
+            output_buffer_vecs=CLOUD_BUFFERS[2],
+        )
+    elif device.name == "pynq-z1":
+        cfg = AcceleratorConfig(
+            pi=4, po=4, pt=4, instances=1, frequency_mhz=100.0,
+            input_buffer_vecs=EMBEDDED_BUFFERS[0],
+            weight_buffer_vecs=EMBEDDED_BUFFERS[1],
+            output_buffer_vecs=EMBEDDED_BUFFERS[2],
+        )
+    else:
+        raise DeviceError(
+            f"no paper configuration for {device_name!r} "
+            "(use repro.dse.run_dse for other devices)"
+        )
+    return cfg, device
+
+
+def simulate_network(
+    network: Network,
+    cfg: AcceleratorConfig,
+    device: FpgaDevice,
+    mapping: NetworkMapping,
+    functional: bool = False,
+    params: Optional[dict] = None,
+    seed: int = 2020,
+) -> SimulationResult:
+    """Compile ``network`` and run it through the simulator once."""
+    if params is None:
+        params = generate_parameters(network, seed=seed)
+    options = CompilerOptions(quantize=True, pack_data=functional)
+    compiled = compile_network(network, cfg, mapping, params, options)
+    runtime = HostRuntime(compiled, device, functional=functional)
+    image = np.zeros(network.input_shape.as_tuple())
+    result = runtime.infer(image)
+    if result.sim is None:
+        raise RuntimeError("network produced no accelerator segments")
+    return result.sim

@@ -1,0 +1,88 @@
+"""Table 3 — resource utilisation of the VU9P and PYNQ-Z1 designs.
+
+Regenerates the LUT / DSP / BRAM rows (absolute counts and utilisation
+percentages) from the calibrated Eq. 3-5 models, next to the paper's
+reported numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.report import Table
+from repro.estimator import estimate_resources
+from repro.experiments.common import paper_config
+from repro.fpga.resources import ResourceBudget
+
+#: Paper Table 3, verbatim.
+PAPER_TABLE3 = {
+    "vu9p": ResourceBudget(luts=706_353, dsps=5_163, brams=3_169),
+    "pynq-z1": ResourceBudget(luts=37_034, dsps=220, brams=277),
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    device: str
+    ours: ResourceBudget
+    paper: ResourceBudget
+    capacity: ResourceBudget
+
+    def utilisation(self, kind: str) -> float:
+        return getattr(self.ours, kind) / getattr(self.capacity, kind)
+
+    def paper_utilisation(self, kind: str) -> float:
+        return getattr(self.paper, kind) / getattr(self.capacity, kind)
+
+
+def run_table3() -> List[Table3Row]:
+    """Compute both devices' utilisation rows."""
+    rows = []
+    for name in ("vu9p", "pynq-z1"):
+        cfg, device = paper_config(name)
+        ours = estimate_resources(cfg, device)
+        rows.append(
+            Table3Row(
+                device=name,
+                ours=ours,
+                paper=PAPER_TABLE3[name],
+                capacity=device.resources,
+            )
+        )
+    return rows
+
+
+def format_table3(rows: List[Table3Row]) -> str:
+    table = Table(
+        "Table 3: Resource Utilization of VU9P and PYNQ-Z1",
+        ["Device", "Resource", "Ours", "Ours %", "Paper", "Paper %"],
+    )
+    for row in rows:
+        for kind, label in (
+            ("luts", "LUTs"),
+            ("dsps", "DSPs"),
+            ("brams", "18Kb BRAMs"),
+        ):
+            table.add_row(
+                row.device,
+                label,
+                getattr(row.ours, kind),
+                f"{row.utilisation(kind) * 100:.2f}%",
+                getattr(row.paper, kind),
+                f"{row.paper_utilisation(kind) * 100:.2f}%",
+            )
+    table.add_note(
+        "Ours = calibrated Eq. 3-5 models (repro.estimator.resources)."
+    )
+    return table.render()
+
+
+def main() -> str:
+    output = format_table3(run_table3())
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+"""Section 6.1 — the VGG16 case study.
+
+Checks that the full DSE independently recovers the paper's design
+points:
+
+* VU9P: six instances of PI=4, PO=4, PT=6 (two per die, three dies);
+* PYNQ-Z1: one instance of PI=4, PO=4, PT=4;
+* all 13 CONV layers of VGG16 mapped to Winograd mode ("the DSE selects
+  all CONV layers of VGG16 to be implemented in Winograd mode due to
+  the sufficient memory bandwidth").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.analysis.report import Table
+from repro.dse import DseResult, run_dse
+from repro.dse.space import DseOptions
+from repro.estimator.resources import instances_per_die
+from repro.fpga import get_device
+from repro.ir import zoo
+
+#: The paper's selected configurations.
+PAPER_CHOICE = {
+    "vu9p": {"pi": 4, "po": 4, "pt": 6, "instances": 6},
+    "pynq-z1": {"pi": 4, "po": 4, "pt": 4, "instances": 1},
+}
+
+
+@dataclass(frozen=True)
+class CaseStudyRow:
+    device: str
+    result: DseResult
+    per_die: int
+    conv_wino_layers: int
+    conv_layers: int
+
+    @property
+    def matches_paper(self) -> bool:
+        choice = PAPER_CHOICE[self.device]
+        cfg = self.result.cfg
+        return (
+            cfg.pi == choice["pi"]
+            and cfg.po == choice["po"]
+            and cfg.pt == choice["pt"]
+            and cfg.instances == choice["instances"]
+        )
+
+
+def run_vgg16_case(devices=("vu9p", "pynq-z1")) -> List[CaseStudyRow]:
+    network = zoo.vgg16()
+    rows = []
+    for name in devices:
+        device = get_device(name)
+        result = run_dse(
+            device, network, DseOptions(frequency_mhz=device.frequency_mhz)
+        )
+        conv_names = {i.layer.name for i in network.conv_layers()}
+        conv_wino = sum(
+            1
+            for m in result.mapping
+            if m.layer_name in conv_names and m.mode == "wino"
+        )
+        rows.append(
+            CaseStudyRow(
+                device=name,
+                result=result,
+                per_die=instances_per_die(result.cfg, device),
+                conv_wino_layers=conv_wino,
+                conv_layers=len(conv_names),
+            )
+        )
+    return rows
+
+
+def format_vgg16_case(rows: List[CaseStudyRow]) -> str:
+    table = Table(
+        "VGG16 case study: DSE-selected designs vs the paper's choices",
+        ["Device", "PI", "PO", "PT", "NI", "per die", "conv wino",
+         "GOPS", "matches paper"],
+    )
+    for row in rows:
+        cfg = row.result.cfg
+        table.add_row(
+            row.device, cfg.pi, cfg.po, cfg.pt, cfg.instances,
+            row.per_die,
+            f"{row.conv_wino_layers}/{row.conv_layers}",
+            f"{row.result.throughput_gops:.1f}",
+            "yes" if row.matches_paper else "no",
+        )
+    table.add_note(
+        "paper: VU9P PI=PO=4 PT=6 x6 (2/die x 3 dies); "
+        "PYNQ-Z1 PI=PO=4 PT=4 x1; all CONV layers Winograd"
+    )
+    return table.render()
+
+
+def main() -> str:
+    output = format_vgg16_case(run_vgg16_case())
+    print(output)
+    return output
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""FPGA device specifications (framework Step 1, hardware side).
+
+Public API
+----------
+``ResourceBudget``
+    LUT / DSP / BRAM counts with arithmetic and comparison helpers.
+``FpgaDevice``
+    Full device specification: resources, dies, frequency, external
+    memory bandwidth, BRAM word width.
+``get_device`` / ``DEVICES``
+    Catalog of the devices used in the paper plus a few extras.
+"""
+
+from repro.fpga.resources import ResourceBudget
+from repro.fpga.device import ExternalMemory, FpgaDevice
+from repro.fpga.catalog import DEVICES, get_device
+
+__all__ = [
+    "DEVICES",
+    "ExternalMemory",
+    "FpgaDevice",
+    "ResourceBudget",
+    "get_device",
+]

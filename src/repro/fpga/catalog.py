@@ -1,0 +1,100 @@
+"""Catalog of FPGA platforms.
+
+The two paper platforms are entered with their exact Table-3 totals
+(Table 3 reports utilisation percentages; dividing the absolute counts by
+the percentages recovers the device totals, which match the Xilinx data
+sheets):
+
+* ``vu9p``   — Semptian NSA.241 with a Xilinx Virtex UltraScale+ VU9P,
+  three super-logic regions, PCIe-attached DDR4.
+* ``pynq-z1`` — Xilinx Zynq-7020 SoC board, PS-attached DDR3.
+
+Frequencies are the operating clocks of the paper's generated designs
+(Table 4: 167 MHz / 100 MHz).  Bandwidths are sustained figures for the
+boards' memory systems; they are the calibration knob for the
+memory-bound behaviour in Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import DeviceError
+from repro.fpga.device import ExternalMemory, FpgaDevice
+from repro.fpga.resources import ResourceBudget
+
+DEVICES: Dict[str, FpgaDevice] = {}
+
+
+def _register(device: FpgaDevice) -> FpgaDevice:
+    if device.name in DEVICES:
+        raise DeviceError(f"duplicate device {device.name!r}")
+    DEVICES[device.name] = device
+    return device
+
+
+VU9P = _register(
+    FpgaDevice(
+        name="vu9p",
+        part="Xilinx Virtex UltraScale+ XCVU9P (Semptian NSA.241)",
+        resources=ResourceBudget(luts=1_182_240, dsps=6_840, brams=4_320),
+        dies=3,
+        frequency_mhz=167.0,
+        memory=ExternalMemory(bandwidth_gbps=76.8, channels=4),
+        bram_width_bits=18,
+        typical_power_w=45.9,
+        embedded=False,
+    )
+)
+
+PYNQ_Z1 = _register(
+    FpgaDevice(
+        name="pynq-z1",
+        part="Xilinx Zynq-7020 (PYNQ-Z1)",
+        resources=ResourceBudget(luts=53_200, dsps=220, brams=280),
+        dies=1,
+        frequency_mhz=100.0,
+        memory=ExternalMemory(bandwidth_gbps=3.2, channels=1),
+        bram_width_bits=18,
+        typical_power_w=2.6,
+        embedded=True,
+    )
+)
+
+ZCU102 = _register(
+    FpgaDevice(
+        name="zcu102",
+        part="Xilinx Zynq UltraScale+ XCZU9EG (ZCU102)",
+        resources=ResourceBudget(luts=274_080, dsps=2_520, brams=1_824),
+        dies=1,
+        frequency_mhz=200.0,
+        memory=ExternalMemory(bandwidth_gbps=19.2, channels=1),
+        bram_width_bits=18,
+        typical_power_w=20.0,
+        embedded=True,
+    )
+)
+
+KU115 = _register(
+    FpgaDevice(
+        name="ku115",
+        part="Xilinx Kintex UltraScale XCKU115",
+        resources=ResourceBudget(luts=663_360, dsps=5_520, brams=4_320),
+        dies=2,
+        frequency_mhz=200.0,
+        memory=ExternalMemory(bandwidth_gbps=38.4, channels=2),
+        bram_width_bits=18,
+        typical_power_w=35.0,
+        embedded=False,
+    )
+)
+
+
+def get_device(name: str) -> FpgaDevice:
+    """Look up a device by catalog name (case-insensitive)."""
+    key = name.lower()
+    if key not in DEVICES:
+        raise DeviceError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        )
+    return DEVICES[key]

@@ -1,0 +1,123 @@
+"""FPGA device model.
+
+A device bundles the quantities the DSE and the latency model consume:
+resource capacity, die count (cloud FPGAs, Section 1), achievable clock
+frequency, and external-memory bandwidth.  Bandwidth is expressed in
+*elements per second* by :meth:`FpgaDevice.bandwidth_elems`, matching the
+units of Eq. 8-11 where ``BW`` is compared against
+``FREQ * PI * PO * PT`` element consumption rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.fpga.resources import ResourceBudget
+
+
+@dataclass(frozen=True)
+class ExternalMemory:
+    """External (off-chip) memory attached to the accelerator.
+
+    Parameters
+    ----------
+    bandwidth_gbps:
+        Sustained bandwidth in gigabytes per second, aggregated over all
+        channels usable by the accelerator instances.
+    channels:
+        Number of independent channels (informational; contention is
+        modelled as equal sharing of the aggregate bandwidth).
+    """
+
+    bandwidth_gbps: float
+    channels: int = 1
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise DeviceError("memory bandwidth must be positive")
+        if self.channels <= 0:
+            raise DeviceError("memory channel count must be positive")
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        """Bandwidth in bytes per second."""
+        return self.bandwidth_gbps * 1e9
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Specification of one FPGA platform.
+
+    Attributes
+    ----------
+    name:
+        Catalog key (e.g. ``"vu9p"``).
+    part:
+        Vendor part / board description, for reports.
+    resources:
+        Total LUT / DSP / BRAM18 capacity.
+    dies:
+        Number of super-logic regions; accelerator instances must not
+        straddle dies (Section 6.1: two instances fit per VU9P die).
+    frequency_mhz:
+        Target clock of generated accelerators on this device.
+    memory:
+        External memory model.
+    bram_width_bits:
+        Data width of one BRAM18 instance (``BRAM_WIDTH`` in Eq. 4).
+    typical_power_w:
+        Board power used for energy-efficiency reporting (Table 4).
+    embedded:
+        True for SoC-style devices (PYNQ) where the host is on-chip.
+    """
+
+    name: str
+    part: str
+    resources: ResourceBudget
+    dies: int
+    frequency_mhz: float
+    memory: ExternalMemory
+    bram_width_bits: int = 18
+    typical_power_w: float = 0.0
+    embedded: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dies <= 0:
+            raise DeviceError(f"{self.name}: dies must be positive")
+        if self.frequency_mhz <= 0:
+            raise DeviceError(f"{self.name}: frequency must be positive")
+        if self.bram_width_bits <= 0:
+            raise DeviceError(f"{self.name}: BRAM width must be positive")
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.frequency_mhz * 1e6
+
+    def bandwidth_elems(self, data_width_bits: int, instances: int = 1) -> float:
+        """External bandwidth in data elements per second *per instance*.
+
+        ``instances`` accelerator instances share the aggregate bandwidth
+        equally — the contention model used for multi-die cloud designs.
+        """
+        if data_width_bits <= 0:
+            raise DeviceError("data width must be positive")
+        if instances <= 0:
+            raise DeviceError("instance count must be positive")
+        bytes_per_elem = max(1, (data_width_bits + 7) // 8)
+        return self.memory.bandwidth_bytes / bytes_per_elem / instances
+
+    def resources_per_die(self) -> ResourceBudget:
+        """Capacity of one die, assuming symmetric dies."""
+        return ResourceBudget(
+            self.resources.luts // self.dies,
+            self.resources.dsps // self.dies,
+            self.resources.brams // self.dies,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.part}): {self.resources}, {self.dies} die(s), "
+            f"{self.frequency_mhz:.0f} MHz, "
+            f"{self.memory.bandwidth_gbps:.1f} GB/s"
+        )

@@ -1,0 +1,82 @@
+"""FPGA resource budgets.
+
+A :class:`ResourceBudget` is a triple (LUTs, DSPs, 18Kb-BRAMs) supporting
+element-wise arithmetic, scaling and the ``fits_in`` comparison used by
+the DSE resource constraints (Table 2 of the paper:
+``N_LUT < LUT, N_DSP < DSP, N_BRAM < BRAM``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """LUT / DSP / 18Kb-BRAM counts.
+
+    Used both for device capacity and for estimated utilisation, so
+    negative values are rejected but zero is fine.
+    """
+
+    luts: int
+    dsps: int
+    brams: int
+
+    def __post_init__(self) -> None:
+        for name in ("luts", "dsps", "brams"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ResourceError(f"negative resource {name}: {value}")
+
+    # -- arithmetic -----------------------------------------------------
+
+    def __add__(self, other: "ResourceBudget") -> "ResourceBudget":
+        return ResourceBudget(
+            self.luts + other.luts,
+            self.dsps + other.dsps,
+            self.brams + other.brams,
+        )
+
+    def __sub__(self, other: "ResourceBudget") -> "ResourceBudget":
+        return ResourceBudget(
+            self.luts - other.luts,
+            self.dsps - other.dsps,
+            self.brams - other.brams,
+        )
+
+    def __mul__(self, factor: int) -> "ResourceBudget":
+        if factor < 0:
+            raise ResourceError(f"negative scale factor: {factor}")
+        return ResourceBudget(
+            self.luts * factor, self.dsps * factor, self.brams * factor
+        )
+
+    __rmul__ = __mul__
+
+    # -- comparisons ------------------------------------------------------
+
+    def fits_in(self, capacity: "ResourceBudget") -> bool:
+        """True if this utilisation satisfies the Table-2 constraints."""
+        return (
+            self.luts <= capacity.luts
+            and self.dsps <= capacity.dsps
+            and self.brams <= capacity.brams
+        )
+
+    def utilisation(self, capacity: "ResourceBudget") -> dict:
+        """Fractional utilisation against ``capacity`` per resource kind."""
+        return {
+            "luts": self.luts / capacity.luts if capacity.luts else 0.0,
+            "dsps": self.dsps / capacity.dsps if capacity.dsps else 0.0,
+            "brams": self.brams / capacity.brams if capacity.brams else 0.0,
+        }
+
+    def max_utilisation(self, capacity: "ResourceBudget") -> float:
+        """The binding (largest) utilisation fraction."""
+        return max(self.utilisation(capacity).values())
+
+    def __str__(self) -> str:
+        return f"{self.luts} LUTs, {self.dsps} DSPs, {self.brams} BRAM18s"

@@ -1,0 +1,26 @@
+"""HLS code emission (framework Step 3, hardware side).
+
+The paper's Step 3 transforms the finalized HLS template configuration
+into synthesizable C-level descriptions.  With no synthesis tool in this
+environment, emission itself is the deliverable: a configuration header
+(the DSE's parameters as compile-time constants), a synthesizable-style
+C++ top function implementing the four-module architecture, and a build
+script — everything a user would hand to Vivado/Vitis HLS.
+
+Public API
+----------
+``HlsConfig`` / ``from_dse``
+    The template configuration record.
+``emit_project``
+    Write header + top + script into a directory.
+"""
+
+from repro.hls.config import HlsConfig
+from repro.hls.emitter import emit_config_header, emit_project, emit_top
+
+__all__ = [
+    "HlsConfig",
+    "emit_config_header",
+    "emit_project",
+    "emit_top",
+]

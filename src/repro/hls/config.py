@@ -1,0 +1,53 @@
+"""HLS template configuration.
+
+Carries exactly the quantities the C++ templates are parameterised on:
+parallel factors, data widths, buffer depths and the target part/clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.params import AcceleratorConfig
+from repro.fpga.device import FpgaDevice
+
+
+@dataclass(frozen=True)
+class HlsConfig:
+    """Compile-time constants of the generated accelerator."""
+
+    project: str
+    part: str
+    clock_ns: float
+    pi: int
+    po: int
+    pt: int
+    m: int
+    data_width: int
+    weight_width: int
+    accum_width: int
+    input_buffer_vecs: int
+    weight_buffer_vecs: int
+    output_buffer_vecs: int
+    instances: int
+
+    @classmethod
+    def from_config(
+        cls, cfg: AcceleratorConfig, device: FpgaDevice, project: str
+    ) -> "HlsConfig":
+        return cls(
+            project=project,
+            part=device.part,
+            clock_ns=1e3 / cfg.frequency_mhz,
+            pi=cfg.pi,
+            po=cfg.po,
+            pt=cfg.pt,
+            m=cfg.m,
+            data_width=cfg.data_width,
+            weight_width=cfg.weight_width,
+            accum_width=32,
+            input_buffer_vecs=cfg.input_buffer_vecs,
+            weight_buffer_vecs=cfg.weight_buffer_vecs,
+            output_buffer_vecs=cfg.output_buffer_vecs,
+            instances=cfg.instances,
+        )

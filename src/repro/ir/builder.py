@@ -1,0 +1,131 @@
+"""Fluent builder for sequential networks.
+
+Example
+-------
+>>> from repro.ir import NetworkBuilder
+>>> net = (
+...     NetworkBuilder("tiny", input_shape=(3, 32, 32))
+...     .conv2d(16, kernel_size=3, padding=1, relu=True)
+...     .maxpool2d(2)
+...     .conv2d(32, kernel_size=3, padding=1, relu=True)
+...     .flatten()
+...     .dense(10)
+...     .build()
+... )
+>>> len(net)
+5
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+from repro.ir.graph import Network
+from repro.ir.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+)
+from repro.ir.tensor import TensorShape
+
+ShapeLike = Union[TensorShape, Tuple[int, int, int]]
+
+
+def _as_shape(shape: ShapeLike) -> TensorShape:
+    if isinstance(shape, TensorShape):
+        return shape
+    return TensorShape(*shape)
+
+
+class NetworkBuilder:
+    """Incrementally build a :class:`~repro.ir.graph.Network`.
+
+    Layer names default to ``<type><running index>`` (``conv1``, ``pool2``,
+    ...) but can be overridden per call.
+    """
+
+    def __init__(self, name: str, input_shape: ShapeLike):
+        self._name = name
+        self._input_shape = _as_shape(input_shape)
+        self._layers = []
+        self._counter = 0
+
+    def _next_name(self, prefix: str, name: Optional[str]) -> str:
+        self._counter += 1
+        return name if name is not None else f"{prefix}{self._counter}"
+
+    def conv2d(
+        self,
+        out_channels: int,
+        kernel_size: Union[int, Tuple[int, int]] = 3,
+        stride: int = 1,
+        padding: int = 0,
+        relu: bool = False,
+        name: Optional[str] = None,
+    ) -> "NetworkBuilder":
+        """Append a convolution layer."""
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self._layers.append(
+            Conv2D(
+                name=self._next_name("conv", name),
+                out_channels=out_channels,
+                kernel_size=kernel_size,
+                stride=stride,
+                padding=padding,
+                relu=relu,
+            )
+        )
+        return self
+
+    def dense(
+        self, out_features: int, relu: bool = False, name: Optional[str] = None
+    ) -> "NetworkBuilder":
+        """Append a fully-connected layer."""
+        self._layers.append(
+            Dense(
+                name=self._next_name("fc", name),
+                out_features=out_features,
+                relu=relu,
+            )
+        )
+        return self
+
+    def maxpool2d(
+        self, pool_size: int = 2, stride: int = 0, name: Optional[str] = None
+    ) -> "NetworkBuilder":
+        self._layers.append(
+            MaxPool2D(
+                name=self._next_name("pool", name),
+                pool_size=pool_size,
+                stride=stride,
+            )
+        )
+        return self
+
+    def avgpool2d(
+        self, pool_size: int = 2, stride: int = 0, name: Optional[str] = None
+    ) -> "NetworkBuilder":
+        self._layers.append(
+            AvgPool2D(
+                name=self._next_name("pool", name),
+                pool_size=pool_size,
+                stride=stride,
+            )
+        )
+        return self
+
+    def relu(self, name: Optional[str] = None) -> "NetworkBuilder":
+        self._layers.append(ReLU(name=self._next_name("relu", name)))
+        return self
+
+    def flatten(self, name: Optional[str] = None) -> "NetworkBuilder":
+        self._layers.append(Flatten(name=self._next_name("flatten", name)))
+        return self
+
+    def build(self) -> Network:
+        """Validate and return the finished network."""
+        return Network(self._name, self._input_shape, self._layers)

@@ -1,0 +1,231 @@
+"""Layer definitions of the DNN IR.
+
+Each layer knows how to infer its output shape from an input shape and how
+to count the multiply-accumulate work it represents.  Operation counts use
+the convention of the paper's Table 4 (2 ops per MAC), so a convolution
+contributes ``2 * K * C * R * S * H_out * W_out`` operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+from repro.ir.tensor import TensorShape
+
+
+@dataclass
+class Layer:
+    """Base class of all IR layers.
+
+    Attributes
+    ----------
+    name:
+        Unique name within a :class:`~repro.ir.graph.Network`.
+    """
+
+    name: str
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        """Infer the output shape for ``input_shape``."""
+        raise NotImplementedError
+
+    def macs(self, input_shape: TensorShape) -> int:
+        """Number of multiply-accumulates for one inference."""
+        return 0
+
+    def ops(self, input_shape: TensorShape) -> int:
+        """Number of operations (2 ops per MAC, paper convention)."""
+        return 2 * self.macs(input_shape)
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        """Number of weight parameters (excluding bias)."""
+        return 0
+
+    def bias_count(self, input_shape: TensorShape) -> int:
+        """Number of bias parameters."""
+        return 0
+
+    @property
+    def is_compute(self) -> bool:
+        """True for layers mapped onto the PE (CONV / FC)."""
+        return False
+
+
+@dataclass
+class Conv2D(Layer):
+    """2-D convolution.
+
+    Parameters follow the paper's notation: a layer with a ``C``-channel
+    ``H x W`` input and a ``K x C x R x S`` kernel.  ``padding`` is the
+    symmetric zero padding applied to height and width; ``stride`` applies
+    to both spatial dimensions.
+    """
+
+    out_channels: int = 1
+    kernel_size: tuple = (3, 3)
+    stride: int = 1
+    padding: int = 0
+    relu: bool = False
+
+    def __post_init__(self) -> None:
+        kr, ks = self.kernel_size
+        if kr <= 0 or ks <= 0:
+            raise ShapeError(f"{self.name}: kernel size must be positive")
+        if self.stride <= 0:
+            raise ShapeError(f"{self.name}: stride must be positive")
+        if self.padding < 0:
+            raise ShapeError(f"{self.name}: padding must be >= 0")
+        if self.out_channels <= 0:
+            raise ShapeError(f"{self.name}: out_channels must be positive")
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        kr, ks = self.kernel_size
+        h = input_shape.height + 2 * self.padding
+        w = input_shape.width + 2 * self.padding
+        if h < kr or w < ks:
+            raise ShapeError(
+                f"{self.name}: input {input_shape} too small for "
+                f"kernel {self.kernel_size} with padding {self.padding}"
+            )
+        out_h = (h - kr) // self.stride + 1
+        out_w = (w - ks) // self.stride + 1
+        return TensorShape(self.out_channels, out_h, out_w)
+
+    def macs(self, input_shape: TensorShape) -> int:
+        out = self.output_shape(input_shape)
+        kr, ks = self.kernel_size
+        return (
+            self.out_channels
+            * input_shape.channels
+            * kr
+            * ks
+            * out.height
+            * out.width
+        )
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        kr, ks = self.kernel_size
+        return self.out_channels * input_shape.channels * kr * ks
+
+    def bias_count(self, input_shape: TensorShape) -> int:
+        return self.out_channels
+
+    @property
+    def is_compute(self) -> bool:
+        return True
+
+
+@dataclass
+class Dense(Layer):
+    """Fully-connected layer.
+
+    The accelerator executes FC as a 1x1 convolution over a flat tensor
+    (Section 5.3 treats CONV and FC layers uniformly in the DSE objective).
+    """
+
+    out_features: int = 1
+    relu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.out_features <= 0:
+            raise ShapeError(f"{self.name}: out_features must be positive")
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if not input_shape.is_flat:
+            raise ShapeError(
+                f"{self.name}: Dense requires a flat input, got {input_shape}"
+            )
+        return TensorShape(self.out_features, 1, 1)
+
+    def macs(self, input_shape: TensorShape) -> int:
+        return self.out_features * input_shape.size
+
+    def weight_count(self, input_shape: TensorShape) -> int:
+        return self.out_features * input_shape.size
+
+    def bias_count(self, input_shape: TensorShape) -> int:
+        return self.out_features
+
+    @property
+    def is_compute(self) -> bool:
+        return True
+
+    def as_conv(self) -> Conv2D:
+        """Equivalent 1x1 convolution used by the compiler."""
+        return Conv2D(
+            name=self.name,
+            out_channels=self.out_features,
+            kernel_size=(1, 1),
+            stride=1,
+            padding=0,
+            relu=self.relu,
+        )
+
+
+@dataclass
+class _Pool2D(Layer):
+    """Common behaviour of max/average pooling."""
+
+    pool_size: int = 2
+    stride: int = 0  # 0 means "same as pool_size"
+
+    def __post_init__(self) -> None:
+        if self.pool_size <= 0:
+            raise ShapeError(f"{self.name}: pool_size must be positive")
+        if self.stride < 0:
+            raise ShapeError(f"{self.name}: stride must be >= 0")
+        if self.stride == 0:
+            self.stride = self.pool_size
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        if input_shape.height < self.pool_size or input_shape.width < self.pool_size:
+            raise ShapeError(
+                f"{self.name}: input {input_shape} smaller than pool "
+                f"window {self.pool_size}"
+            )
+        out_h = (input_shape.height - self.pool_size) // self.stride + 1
+        out_w = (input_shape.width - self.pool_size) // self.stride + 1
+        return TensorShape(input_shape.channels, out_h, out_w)
+
+
+@dataclass
+class MaxPool2D(_Pool2D):
+    """Max pooling, fused into the accelerator's SAVE module."""
+
+
+@dataclass
+class AvgPool2D(_Pool2D):
+    """Average pooling, fused into the accelerator's SAVE module."""
+
+
+@dataclass
+class ReLU(Layer):
+    """Stand-alone ReLU.
+
+    The compiler fuses ReLU into the preceding COMP instruction
+    (``RELU_FLAG`` in Figure 2) whenever it directly follows a compute
+    layer; a stand-alone ReLU is still representable for generality.
+    """
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return input_shape
+
+
+@dataclass
+class Flatten(Layer):
+    """Collapse a feature map into a vector for the FC stage."""
+
+    def output_shape(self, input_shape: TensorShape) -> TensorShape:
+        return TensorShape(input_shape.size, 1, 1)
+
+
+#: Registry used by the JSON (de)serialiser.
+LAYER_TYPES = {
+    "conv2d": Conv2D,
+    "dense": Dense,
+    "maxpool2d": MaxPool2D,
+    "avgpool2d": AvgPool2D,
+    "relu": ReLU,
+    "flatten": Flatten,
+}

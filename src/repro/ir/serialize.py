@@ -1,0 +1,90 @@
+"""JSON (de)serialisation of networks — the framework's model parser.
+
+HybridDNN Step 1 parses a pretrained model description; here the exchange
+format is a small JSON document::
+
+    {
+      "name": "vgg16",
+      "input_shape": [3, 224, 224],
+      "layers": [
+        {"type": "conv2d", "name": "conv1_1", "out_channels": 64,
+         "kernel_size": [3, 3], "stride": 1, "padding": 1, "relu": true},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+from pathlib import Path
+from typing import Union
+
+from repro.errors import GraphError
+from repro.ir.graph import Network
+from repro.ir.layers import LAYER_TYPES, Conv2D, Layer
+from repro.ir.tensor import TensorShape
+
+_TYPE_NAMES = {cls: name for name, cls in LAYER_TYPES.items()}
+
+
+def _layer_to_dict(layer: Layer) -> dict:
+    cls = type(layer)
+    try:
+        type_name = _TYPE_NAMES[cls]
+    except KeyError:
+        raise GraphError(f"cannot serialise layer type {cls.__name__}") from None
+    data = {"type": type_name}
+    for f in fields(layer):
+        value = getattr(layer, f.name)
+        if isinstance(value, tuple):
+            value = list(value)
+        data[f.name] = value
+    return data
+
+
+def _layer_from_dict(data: dict) -> Layer:
+    data = dict(data)
+    type_name = data.pop("type", None)
+    if type_name not in LAYER_TYPES:
+        raise GraphError(f"unknown layer type {type_name!r}")
+    cls = LAYER_TYPES[type_name]
+    valid = {f.name for f in fields(cls)}
+    unknown = set(data) - valid
+    if unknown:
+        raise GraphError(
+            f"unknown fields for {type_name}: {sorted(unknown)}"
+        )
+    if cls is Conv2D and "kernel_size" in data:
+        data["kernel_size"] = tuple(data["kernel_size"])
+    return cls(**data)
+
+
+def network_to_dict(network: Network) -> dict:
+    """Serialise ``network`` to a plain dict (JSON-compatible)."""
+    return {
+        "name": network.name,
+        "input_shape": list(network.input_shape.as_tuple()),
+        "layers": [_layer_to_dict(layer) for layer in network.layers],
+    }
+
+
+def network_from_dict(data: dict) -> Network:
+    """Parse a network from a dict produced by :func:`network_to_dict`."""
+    for key in ("name", "input_shape", "layers"):
+        if key not in data:
+            raise GraphError(f"network document missing key {key!r}")
+    shape = TensorShape(*data["input_shape"])
+    layers = [_layer_from_dict(item) for item in data["layers"]]
+    return Network(data["name"], shape, layers)
+
+
+def save_network(network: Network, path: Union[str, Path]) -> None:
+    """Write ``network`` as JSON to ``path``."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2))
+
+
+def load_network(path: Union[str, Path]) -> Network:
+    """Load a network from a JSON file."""
+    return network_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,121 @@
+"""Tensor shape and fixed-point data type descriptors.
+
+Feature maps in HybridDNN are 3-dimensional ``(channels, height, width)``
+volumes; batch is handled outside the accelerator (each accelerator
+instance processes one image at a time, Section 6 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class TensorShape:
+    """Shape of a feature-map tensor: ``(channels, height, width)``.
+
+    A flattened (post-``Flatten``) tensor is represented with
+    ``height == width == 1`` and all elements in ``channels``, which is
+    exactly how the accelerator's FC path consumes it.
+    """
+
+    channels: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        for name in ("channels", "height", "width"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise ShapeError(
+                    f"TensorShape.{name} must be a positive int, got {value!r}"
+                )
+
+    @property
+    def size(self) -> int:
+        """Total number of elements."""
+        return self.channels * self.height * self.width
+
+    @property
+    def is_flat(self) -> bool:
+        """True if this is a flattened (vector) tensor."""
+        return self.height == 1 and self.width == 1
+
+    def as_tuple(self) -> tuple:
+        return (self.channels, self.height, self.width)
+
+    def __str__(self) -> str:
+        return f"{self.channels}x{self.height}x{self.width}"
+
+
+@dataclass(frozen=True)
+class DataType:
+    """Fixed-point data type used by the accelerator datapath.
+
+    Parameters
+    ----------
+    width:
+        Total bit width (``DATA_WIDTH`` in the paper's resource model).
+    frac:
+        Number of fractional bits. ``frac < width`` is required; the
+        remaining bits hold sign + integer part.
+    signed:
+        Whether the type is two's-complement signed. DNN activations after
+        ReLU may use unsigned types, weights are always signed.
+    """
+
+    width: int
+    frac: int = 0
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.width > 64:
+            raise ShapeError(f"DataType width out of range: {self.width}")
+        if self.frac < 0 or self.frac >= self.width + (0 if self.signed else 1):
+            raise ShapeError(
+                f"DataType frac bits out of range: frac={self.frac} "
+                f"width={self.width}"
+            )
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.frac)
+
+    @property
+    def min_value(self) -> float:
+        if self.signed:
+            return -(2.0 ** (self.width - 1)) * self.scale
+        return 0.0
+
+    @property
+    def max_value(self) -> float:
+        if self.signed:
+            return (2.0 ** (self.width - 1) - 1) * self.scale
+        return (2.0 ** self.width - 1) * self.scale
+
+    def quantize(self, array):
+        """Round-to-nearest, saturating quantisation of ``array``.
+
+        Returns a float array holding exactly representable values — the
+        usual software model of fixed-point hardware.
+        """
+        import numpy as np
+
+        scaled = np.round(np.asarray(array, dtype=np.float64) / self.scale)
+        lo = self.min_value / self.scale
+        hi = self.max_value / self.scale
+        return np.clip(scaled, lo, hi) * self.scale
+
+    def __str__(self) -> str:
+        sign = "s" if self.signed else "u"
+        return f"{sign}{self.width}.{self.frac}"
+
+
+#: Paper's accelerator datapath types (Table 4 footnote): 8-bit weights,
+#: 12-bit feature maps (widened by the Winograd input transform).
+FEATURE_T = DataType(width=12, frac=6)
+WEIGHT_T = DataType(width=8, frac=6)
+ACCUM_T = DataType(width=32, frac=12)

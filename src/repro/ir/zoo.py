@@ -1,0 +1,164 @@
+"""Reference models.
+
+``vgg16`` is the paper's evaluation workload (Section 6).  The others are
+used by tests, examples and the Figure-6 style layer sweeps.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import NetworkBuilder
+from repro.ir.graph import Network
+
+#: VGG16 convolution plan: (out_channels, number of convs in the block).
+_VGG16_BLOCKS = [
+    (64, 2),
+    (128, 2),
+    (256, 3),
+    (512, 3),
+    (512, 3),
+]
+
+
+def vgg16(input_size: int = 224, include_fc: bool = True) -> Network:
+    """VGG16 with ``3 x input_size x input_size`` input.
+
+    All convolutions are 3x3, stride 1, padding 1 with fused ReLU —
+    exactly the geometry the paper's DSE maps to Winograd mode.
+    """
+    builder = NetworkBuilder("vgg16", input_shape=(3, input_size, input_size))
+    for block_idx, (channels, repeats) in enumerate(_VGG16_BLOCKS, start=1):
+        for conv_idx in range(1, repeats + 1):
+            builder.conv2d(
+                channels,
+                kernel_size=3,
+                padding=1,
+                relu=True,
+                name=f"conv{block_idx}_{conv_idx}",
+            )
+        builder.maxpool2d(2, name=f"pool{block_idx}")
+    if include_fc:
+        builder.flatten(name="flatten")
+        builder.dense(4096, relu=True, name="fc6")
+        builder.dense(4096, relu=True, name="fc7")
+        builder.dense(1000, name="fc8")
+    return builder.build()
+
+
+def alexnet(input_size: int = 227) -> Network:
+    """AlexNet-style network: exercises large kernels (11x11, 5x5) and the
+    kernel-decomposition path of the Winograd engine."""
+    return (
+        NetworkBuilder("alexnet", input_shape=(3, input_size, input_size))
+        .conv2d(96, kernel_size=11, stride=4, relu=True, name="conv1")
+        .maxpool2d(3, stride=2, name="pool1")
+        .conv2d(256, kernel_size=5, padding=2, relu=True, name="conv2")
+        .maxpool2d(3, stride=2, name="pool2")
+        .conv2d(384, kernel_size=3, padding=1, relu=True, name="conv3")
+        .conv2d(384, kernel_size=3, padding=1, relu=True, name="conv4")
+        .conv2d(256, kernel_size=3, padding=1, relu=True, name="conv5")
+        .maxpool2d(3, stride=2, name="pool5")
+        .flatten(name="flatten")
+        .dense(4096, relu=True, name="fc6")
+        .dense(4096, relu=True, name="fc7")
+        .dense(1000, name="fc8")
+        .build()
+    )
+
+
+def darknet19(input_size: int = 224, classes: int = 1000) -> Network:
+    """Darknet-19 (the YOLOv2 backbone): alternating 3x3/1x1 convs.
+
+    A sequential network with a heavy 1x1 population — the workload
+    where the hybrid design's per-layer mode choice matters most (1x1
+    layers run Spatial, 3x3 layers Winograd).
+    """
+    builder = NetworkBuilder("darknet19", input_shape=(3, input_size, input_size))
+    idx = 0
+
+    def conv(channels: int, kernel: int) -> None:
+        nonlocal idx
+        idx += 1
+        builder.conv2d(
+            channels, kernel_size=kernel, padding=kernel // 2,
+            relu=True, name=f"conv{idx}",
+        )
+
+    conv(32, 3)
+    builder.maxpool2d(2, name="pool1")
+    conv(64, 3)
+    builder.maxpool2d(2, name="pool2")
+    conv(128, 3); conv(64, 1); conv(128, 3)
+    builder.maxpool2d(2, name="pool3")
+    conv(256, 3); conv(128, 1); conv(256, 3)
+    builder.maxpool2d(2, name="pool4")
+    conv(512, 3); conv(256, 1); conv(512, 3); conv(256, 1); conv(512, 3)
+    builder.maxpool2d(2, name="pool5")
+    conv(1024, 3); conv(512, 1); conv(1024, 3); conv(512, 1); conv(1024, 3)
+    conv(classes, 1)
+    builder.avgpool2d(input_size // 32, name="gap")
+    return builder.build()
+
+
+def tiny_cnn(input_size: int = 16, channels: int = 8) -> Network:
+    """Small all-conv network for fast functional tests."""
+    return (
+        NetworkBuilder("tiny_cnn", input_shape=(3, input_size, input_size))
+        .conv2d(channels, kernel_size=3, padding=1, relu=True, name="conv1")
+        .conv2d(channels * 2, kernel_size=3, padding=1, relu=True, name="conv2")
+        .maxpool2d(2, name="pool1")
+        .conv2d(channels * 2, kernel_size=3, padding=1, name="conv3")
+        .build()
+    )
+
+
+def tiny_mlp(in_features: int = 64, hidden: int = 32, classes: int = 10) -> Network:
+    """Small FC-only network: exercises the Dense -> 1x1-conv path."""
+    return (
+        NetworkBuilder("tiny_mlp", input_shape=(in_features, 1, 1))
+        .dense(hidden, relu=True, name="fc1")
+        .dense(classes, name="fc2")
+        .build()
+    )
+
+
+def single_conv(
+    channels_in: int,
+    channels_out: int,
+    feature_size: int,
+    kernel_size: int,
+    stride: int = 1,
+    padding: int = 0,
+    name: str = "layer_under_test",
+) -> Network:
+    """One-convolution network used by the Figure-6 layer sweeps."""
+    return (
+        NetworkBuilder(name, input_shape=(channels_in, feature_size, feature_size))
+        .conv2d(
+            channels_out,
+            kernel_size=kernel_size,
+            stride=stride,
+            padding=padding,
+            name="conv",
+        )
+        .build()
+    )
+
+
+MODELS = {
+    "vgg16": vgg16,
+    "alexnet": alexnet,
+    "darknet19": darknet19,
+    "tiny_cnn": tiny_cnn,
+    "tiny_mlp": tiny_mlp,
+}
+
+
+def get_model(name: str, **kwargs) -> Network:
+    """Instantiate a zoo model by name."""
+    try:
+        factory = MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {sorted(MODELS)}"
+        ) from None
+    return factory(**kwargs)

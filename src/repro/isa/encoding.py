@@ -1,0 +1,125 @@
+"""128-bit encode/decode of the instruction dataclasses.
+
+Layouts (LSB-first).  Shared header: ``opcode`` (4), ``dept_flag`` (4),
+``buff_id`` (2).  Field widths are sized so every quantity the compiler
+can produce for the paper's workloads fits with ample margin; the
+remaining bits up to 128 are reserved and must be zero.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import EncodingError
+from repro.isa.fields import BitLayout
+from repro.isa.instructions import (
+    INSTRUCTION_CLASSES,
+    DeptFlag,
+    Instruction,
+    Opcode,
+)
+
+_HEADER = [("opcode", 4), ("dept_flag", 6), ("buff_id", 2)]
+
+LOAD_LAYOUT = BitLayout(
+    "LOAD",
+    _HEADER
+    + [
+        ("buff_base", 16),
+        ("dram_base", 32),
+        ("size_chan", 12),
+        ("size_rows", 12),
+        ("size_cols", 12),
+        ("pads_top", 4),
+        ("pads_bottom", 4),
+        ("pads_left", 4),
+        ("pads_right", 4),
+        ("wino_flag", 1),
+        ("wino_offset", 8),
+    ],
+)
+
+COMP_LAYOUT = BitLayout(
+    "COMP",
+    _HEADER
+    + [
+        ("inp_buff_base", 16),
+        ("out_buff_base", 16),
+        ("wgt_buff_base", 16),
+        ("iw_number", 12),
+        ("ic_number", 12),
+        ("oc_number", 12),
+        ("stride_size", 4),
+        ("relu_flag", 1),
+        ("quan_param", 8),
+        ("wino_flag", 1),
+        ("wino_offset", 8),
+        ("accum_clear", 1),
+        ("accum_flush", 1),
+        ("inp_buff_id", 1),
+        ("wgt_buff_id", 1),
+        ("out_buff_id", 1),
+    ],
+)
+
+SAVE_LAYOUT = BitLayout(
+    "SAVE",
+    _HEADER
+    + [
+        ("buff_base", 16),
+        ("dram_base", 32),
+        ("size_chan", 12),
+        ("size_rows", 12),
+        ("size_cols", 12),
+        ("wino_flag", 1),
+        ("dst_wino_flag", 1),
+        ("pool_size", 4),
+        ("iw_blk_number", 8),
+        ("oc_blk_number", 8),
+        ("ow_blk_number", 8),
+    ],
+)
+
+_LAYOUTS = {
+    Opcode.LOAD_INP: LOAD_LAYOUT,
+    Opcode.LOAD_WGT: LOAD_LAYOUT,
+    Opcode.LOAD_BIAS: LOAD_LAYOUT,
+    Opcode.COMP: COMP_LAYOUT,
+    Opcode.SAVE: SAVE_LAYOUT,
+}
+
+
+def encode(instruction: Instruction) -> int:
+    """Encode an instruction into a 128-bit integer word."""
+    layout = _LAYOUTS[instruction.opcode]
+    return layout.pack(instruction.field_values())
+
+
+def encode_bytes(instruction: Instruction) -> bytes:
+    """Encode to the 16-byte little-endian on-DRAM representation."""
+    return encode(instruction).to_bytes(16, "little")
+
+
+def decode(word: Union[int, bytes]) -> Instruction:
+    """Decode a 128-bit word (int or 16 bytes) back to an instruction."""
+    if isinstance(word, (bytes, bytearray)):
+        if len(word) != 16:
+            raise EncodingError(
+                f"instruction words are 16 bytes, got {len(word)}"
+            )
+        word = int.from_bytes(word, "little")
+    opcode_value = word & 0xF
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError:
+        raise EncodingError(f"unknown opcode {opcode_value:#x}") from None
+    layout = _LAYOUTS[opcode]
+    values = layout.unpack(word)
+    values.pop("opcode")
+    values["dept_flag"] = DeptFlag(values["dept_flag"])
+    cls = INSTRUCTION_CLASSES[opcode]
+    return cls(**values)
+
+
+# Re-export for introspection/tests.
+LAYOUTS = dict(_LAYOUTS)

@@ -1,0 +1,117 @@
+"""Instruction stream container.
+
+A :class:`Program` is the compiler's output: an ordered instruction list
+plus metadata (layer boundaries, buffer plan) that the runtime and the
+simulator consume.  It round-trips losslessly through the 16-byte binary
+format (the paper's "Inst. files", Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Union
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode, encode_bytes
+from repro.isa.instructions import Instruction, Opcode
+
+
+@dataclass
+class LayerMarker:
+    """Range of instructions implementing one network layer."""
+
+    layer_name: str
+    start: int
+    end: int  # exclusive
+    mode: str = "spat"  # "spat" | "wino"
+    dataflow: str = "is"  # "is" | "ws"
+
+
+@dataclass
+class Program:
+    """An executable instruction stream.
+
+    Attributes
+    ----------
+    instructions:
+        The stream, in fetch order.
+    markers:
+        Per-layer instruction ranges (in stream order).
+    metadata:
+        Free-form compiler annotations (buffer plan, config echo, ...).
+    """
+
+    instructions: List[Instruction] = field(default_factory=list)
+    markers: List[LayerMarker] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def append(self, instruction: Instruction) -> None:
+        self.instructions.append(instruction)
+
+    def extend(self, instructions) -> None:
+        self.instructions.extend(instructions)
+
+    def mark_layer(
+        self, layer_name: str, start: int, mode: str, dataflow: str
+    ) -> None:
+        """Record that instructions ``start:`` (to current end) implement
+        ``layer_name``."""
+        self.markers.append(
+            LayerMarker(
+                layer_name=layer_name,
+                start=start,
+                end=len(self.instructions),
+                mode=mode,
+                dataflow=dataflow,
+            )
+        )
+
+    def layer_slice(self, layer_name: str) -> List[Instruction]:
+        """The instructions implementing ``layer_name``."""
+        for marker in self.markers:
+            if marker.layer_name == layer_name:
+                return self.instructions[marker.start : marker.end]
+        raise KeyError(f"no layer {layer_name!r} in program")
+
+    def count_by_opcode(self) -> Dict[Opcode, int]:
+        counts: Dict[Opcode, int] = {}
+        for instruction in self.instructions:
+            counts[instruction.opcode] = counts.get(instruction.opcode, 0) + 1
+        return counts
+
+    # -- binary round-trip ------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise to the on-DRAM binary format (16 bytes/instruction)."""
+        return b"".join(encode_bytes(i) for i in self.instructions)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Program":
+        """Deserialise a binary instruction stream (markers are lost —
+        they are host-side metadata, not part of the binary)."""
+        if len(blob) % 16:
+            raise EncodingError(
+                f"binary length {len(blob)} is not a multiple of 16"
+            )
+        instructions = [
+            decode(blob[offset : offset + 16])
+            for offset in range(0, len(blob), 16)
+        ]
+        return cls(instructions=instructions)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_bytes(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Program":
+        return cls.from_bytes(Path(path).read_bytes())

@@ -1,0 +1,202 @@
+"""Static validation of instruction streams.
+
+The compiler must emit handshake flags that (a) never deadlock — every
+token waited on is produced by an *earlier* instruction or a preloaded
+free token — and (b) never leak or double-free ping-pong halves.  This
+module checks those invariants without running the simulator, by
+replaying token counts in program order; it is the software analogue of
+the assertions a verification engineer would put on the RTL FIFOs.
+
+Checked invariants
+------------------
+* token-count safety: no FIFO underflows (deadlock) or exceeds its
+  depth (overflow / data pollution) at any point in program order;
+* conservation: at end of program all data FIFOs are empty and all
+  free FIFOs hold exactly their preload again;
+* ping-pong alternation: consecutive loads to the same buffer target
+  alternating halves;
+* accumulation discipline: every COMP chain starts with
+  ``accum_clear`` and ends with ``accum_flush``, and only flushing
+  COMPs emit data tokens / wait for output halves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.isa.instructions import DeptFlag, Opcode
+from repro.isa.program import Program
+
+#: FIFO depth of the generated design (ping-pong).
+FIFO_DEPTH = 2
+FREE_PRELOAD = 2
+
+
+@dataclass
+class ValidationIssue:
+    """One invariant violation."""
+
+    index: int  # instruction index (-1 for end-of-program checks)
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        where = "end" if self.index < 0 else f"#{self.index}"
+        return f"[{where}] {self.kind}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """All issues found in one program."""
+
+    issues: List[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, index: int, kind: str, message: str) -> None:
+        self.issues.append(ValidationIssue(index, kind, message))
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "program valid"
+        return "\n".join(str(issue) for issue in self.issues)
+
+
+def validate_program(program: Program) -> ValidationReport:
+    """Check the handshake/buffer invariants of ``program``."""
+    report = ValidationReport()
+    counts = {
+        "inp_data": 0,
+        "wgt_data": 0,
+        "out_data": 0,
+        "inp_free": FREE_PRELOAD,
+        "wgt_free": FREE_PRELOAD,
+        "out_free": FREE_PRELOAD,
+    }
+
+    def pop(index: int, name: str) -> None:
+        if counts[name] == 0:
+            report.add(
+                index, "deadlock",
+                f"waits on {name} token that is never produced earlier",
+            )
+        else:
+            counts[name] -= 1
+
+    def push(index: int, name: str) -> None:
+        if counts[name] >= FIFO_DEPTH:
+            report.add(
+                index, "overflow",
+                f"pushes {name} beyond depth {FIFO_DEPTH}",
+            )
+        else:
+            counts[name] += 1
+
+    last_half = {"inp": None, "wgt": None, "out": None}
+    accum_open = False
+
+    for index, inst in enumerate(program):
+        dept = inst.dept_flag
+        opcode = inst.opcode
+        if opcode == Opcode.LOAD_INP:
+            if dept & DeptFlag.WAIT_FREE:
+                pop(index, "inp_free")
+            if dept & DeptFlag.EMIT:
+                push(index, "inp_data")
+            if last_half["inp"] == inst.buff_id:
+                report.add(
+                    index, "ping-pong",
+                    f"LOAD_INP reuses half {inst.buff_id} consecutively",
+                )
+            last_half["inp"] = inst.buff_id
+        elif opcode == Opcode.LOAD_WGT:
+            if dept & DeptFlag.WAIT_FREE:
+                pop(index, "wgt_free")
+            if dept & DeptFlag.EMIT:
+                push(index, "wgt_data")
+            if last_half["wgt"] == inst.buff_id:
+                report.add(
+                    index, "ping-pong",
+                    f"LOAD_WGT reuses half {inst.buff_id} consecutively",
+                )
+            last_half["wgt"] = inst.buff_id
+        elif opcode == Opcode.LOAD_BIAS:
+            pass  # synchronised through the LOAD_WGT queue ordering
+        elif opcode == Opcode.COMP:
+            if dept & DeptFlag.WAIT_INP:
+                pop(index, "inp_data")
+            if dept & DeptFlag.WAIT_WGT:
+                pop(index, "wgt_data")
+            if dept & DeptFlag.FREE_INP:
+                push(index, "inp_free")
+            if dept & DeptFlag.FREE_WGT:
+                push(index, "wgt_free")
+            if inst.accum_clear:
+                if accum_open:
+                    report.add(
+                        index, "accum",
+                        "accum_clear while a previous accumulation is "
+                        "still open (missing flush)",
+                    )
+                accum_open = True
+            elif not accum_open:
+                report.add(
+                    index, "accum",
+                    "COMP continues an accumulation that was never "
+                    "started (missing accum_clear)",
+                )
+            if inst.accum_flush:
+                if not accum_open:
+                    report.add(index, "accum", "flush without open accum")
+                accum_open = False
+                if not dept & DeptFlag.EMIT:
+                    report.add(
+                        index, "handshake",
+                        "flushing COMP does not EMIT to SAVE",
+                    )
+                if not dept & DeptFlag.WAIT_FREE:
+                    report.add(
+                        index, "handshake",
+                        "flushing COMP does not wait for a free output "
+                        "half",
+                    )
+                pop(index, "out_free")
+                push(index, "out_data")
+            else:
+                if dept & DeptFlag.EMIT:
+                    report.add(
+                        index, "handshake",
+                        "non-flushing COMP emits a data token",
+                    )
+        elif opcode == Opcode.SAVE:
+            if dept & DeptFlag.WAIT_INP:
+                pop(index, "out_data")
+            else:
+                report.add(
+                    index, "handshake", "SAVE does not wait for COMP data"
+                )
+            if dept & DeptFlag.FREE_INP:
+                push(index, "out_free")
+            else:
+                report.add(
+                    index, "handshake", "SAVE does not release the half"
+                )
+
+    if accum_open:
+        report.add(-1, "accum", "program ends with an open accumulation")
+    for name in ("inp_data", "wgt_data", "out_data"):
+        if counts[name] != 0:
+            report.add(
+                -1, "leak",
+                f"{counts[name]} unconsumed {name} token(s) at program end",
+            )
+    for name in ("inp_free", "wgt_free", "out_free"):
+        if counts[name] != FREE_PRELOAD:
+            report.add(
+                -1, "leak",
+                f"{name} ends at {counts[name]}, expected {FREE_PRELOAD}",
+            )
+    return report

@@ -1,0 +1,26 @@
+"""DNN-to-accelerator mapping abstractions (software-perspective DSE
+parameters).
+
+``LayerMapping`` fixes one layer's CONV mode (Spatial/Winograd) and
+dataflow (IS/WS); ``NetworkMapping`` collects them for a whole model.
+``partition`` implements the CONV operation partitioning of Section
+4.2.4: row groups along the feature-map height, weight groups along the
+output-channel dimension.
+"""
+
+from repro.mapping.strategy import (
+    DATAFLOWS,
+    MODES,
+    LayerMapping,
+    NetworkMapping,
+)
+from repro.mapping.partition import LayerPartition, partition_layer
+
+__all__ = [
+    "DATAFLOWS",
+    "LayerMapping",
+    "LayerPartition",
+    "MODES",
+    "NetworkMapping",
+    "partition_layer",
+]

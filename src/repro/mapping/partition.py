@@ -1,0 +1,293 @@
+"""CONV operation partitioning (Section 4.2.4).
+
+Feature maps are partitioned into row groups along the height: one
+output row per group in Spatial mode, ``m`` rows (one tile row) in
+Winograd mode.  Weights are partitioned along the output-channel
+dimension into ``GK`` groups sized to the weight buffer.  When even one
+output-channel granule does not fit (large FC layers), the input-channel
+dimension is additionally split into ``GC`` chunks and the accumulating
+buffer carries partial sums across COMP instructions.
+
+The same :class:`LayerPartition` drives the analytical latency model,
+the compiler's instruction emission and the simulator's buffer checks,
+so there is a single source of truth for group geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ResourceError, UnsupportedLayerError
+from repro.arch.params import AcceleratorConfig
+from repro.ir.graph import LayerInfo
+from repro.ir.layers import Conv2D, Dense
+from repro.winograd.decompose import decomposition_blocks
+
+
+@dataclass(frozen=True)
+class LayerPartition:
+    """Group geometry of one compute layer under one mode.
+
+    All element counts are *padded* to whole channel vectors where the
+    hardware requires it; ``weight_elems_group`` is the DRAM traffic of
+    one LOAD_WGT (already reflecting the Winograd expansion to ``PT^2``
+    coefficients per decomposition block, Eq. 9).
+    """
+
+    layer_name: str
+    mode: str
+    # convolution geometry
+    channels: int
+    out_channels: int
+    kernel: Tuple[int, int]
+    stride: int
+    padding: int
+    in_h: int
+    in_w: int
+    out_h: int
+    out_w: int
+    fused_pool: int
+    relu: bool
+    # row groups
+    rows_per_group: int  # output rows produced per group
+    n_row_groups: int
+    strip_rows: int  # input rows loaded per group
+    # weight groups
+    k_per_group: int
+    n_k_groups: int  # the paper's GK
+    c_per_group: int
+    n_c_groups: int  # GC (input-channel split; 1 for most layers)
+    # decomposition
+    blocks: Tuple[Tuple[int, int], ...]
+    # buffer occupancies (in elements)
+    strip_elems: int
+    weight_elems_group: int
+    out_group_elems: int
+
+    @property
+    def total_groups(self) -> int:
+        """Row x weight x channel group count — COMP instruction count."""
+        return self.n_row_groups * self.n_k_groups * self.n_c_groups
+
+    @property
+    def weight_elems_total(self) -> int:
+        """DRAM size of this layer's packed weights (one copy)."""
+        return self.weight_elems_group * self.n_k_groups * self.n_c_groups
+
+
+def _conv_geometry(info: LayerInfo):
+    layer = info.layer
+    if isinstance(layer, Dense):
+        layer = layer.as_conv()
+    if not isinstance(layer, Conv2D):
+        raise UnsupportedLayerError(
+            f"{info.layer.name}: only CONV/FC layers map onto the PE"
+        )
+    return layer
+
+
+def partition_layer(
+    cfg: AcceleratorConfig,
+    info: LayerInfo,
+    mode: str,
+    fused_pool: int = 1,
+) -> LayerPartition:
+    """Compute the group partitioning of ``info`` under ``mode``.
+
+    Raises :class:`ResourceError` when a single group cannot fit the
+    configured on-chip buffers and
+    :class:`UnsupportedLayerError` for Winograd with stride > 1.
+    """
+    layer = _conv_geometry(info)
+    r, s = layer.kernel_size
+    c = info.input_shape.channels if not isinstance(info.layer, Dense) else info.input_shape.size
+    in_h = info.input_shape.height if not isinstance(info.layer, Dense) else 1
+    in_w = info.input_shape.width if not isinstance(info.layer, Dense) else 1
+    k = layer.out_channels
+    out_h = info.output_shape.height
+    out_w = info.output_shape.width
+    stride = layer.stride
+    padding = layer.padding
+
+    if mode == "wino" and stride != 1:
+        raise UnsupportedLayerError(
+            f"{layer.name}: Winograd requires stride 1, got {stride}"
+        )
+    if mode not in ("spat", "wino"):
+        raise UnsupportedLayerError(f"unknown mode {mode!r}")
+
+    # -- row groups -----------------------------------------------------
+    if mode == "wino":
+        rows_per_group = cfg.m
+        blocks = tuple(decomposition_blocks(r, s, 3))
+        max_dr = max(dr for dr, _ in blocks)
+        strip_rows = cfg.pt + max_dr
+    else:
+        rows_per_group = 1
+        blocks = ((0, 0),)
+        strip_rows = r
+
+    if fused_pool > 1:
+        # Fused pooling needs whole pool windows inside one SAVE group.
+        while rows_per_group % fused_pool:
+            rows_per_group += 1 if mode == "spat" else rows_per_group
+            if rows_per_group > 16:
+                raise UnsupportedLayerError(
+                    f"{layer.name}: cannot align pool {fused_pool} with "
+                    f"mode {mode}"
+                )
+        if mode == "spat":
+            strip_rows = (rows_per_group - 1) * stride + r
+
+    # A strip never needs more rows than the padded input provides
+    # (1x1 features executed as FC, small inputs).
+    strip_rows = min(strip_rows, in_h + 2 * padding)
+
+    n_row_groups = -(-out_h // rows_per_group)
+
+    # -- buffer capacities (elements) --------------------------------------
+    input_capacity = cfg.input_buffer_vecs * cfg.pi
+    weight_capacity = cfg.weight_buffer_vecs * cfg.pi * cfg.po
+    output_capacity = cfg.output_buffer_vecs * cfg.po
+
+    granule = cfg.po * cfg.pt if mode == "spat" else cfg.po
+    per_c_elems = len(blocks) * cfg.pt * cfg.pt if mode == "wino" else r * s
+    k_padded = -(-k // granule) * granule
+    padded_w = in_w + 2 * padding
+
+    def _floor_multiple(value: int, step: int) -> int:
+        return (value // step) * step
+
+    # -- input-channel chunking (the adaptive partition of Sec. 4.2.4) ----
+    # A chunk of channels must fit both the input-strip buffer and, with
+    # at least one output-channel granule, the weight buffer.
+    strip_footprint = strip_rows * padded_w  # elements per channel
+    c_strip_max = input_capacity // strip_footprint
+    if c_strip_max >= c:
+        c_strip_allowed = c
+    else:
+        c_strip_allowed = _floor_multiple(c_strip_max, cfg.pi)
+        if c_strip_allowed < cfg.pi:
+            raise ResourceError(
+                f"{layer.name}: even {cfg.pi} channels of one input strip "
+                f"({cfg.pi * strip_footprint} elements) exceed the input "
+                f"buffer half ({input_capacity})"
+            )
+    c_wgt_max = weight_capacity // (granule * per_c_elems)
+    if c_wgt_max >= c:
+        c_wgt_allowed = c
+    else:
+        c_wgt_allowed = _floor_multiple(c_wgt_max, cfg.pi)
+        if c_wgt_allowed < cfg.pi:
+            raise ResourceError(
+                f"{layer.name}: one weight granule with {cfg.pi} channels "
+                f"({granule * per_c_elems * cfg.pi} elements) exceeds the "
+                f"weight buffer half ({weight_capacity})"
+            )
+    c_per_group = min(c, c_strip_allowed, c_wgt_allowed)
+    n_c_groups = -(-c // c_per_group)
+
+    c_vecs = -(-c_per_group // cfg.pi)
+    strip_elems = c_vecs * cfg.pi * strip_footprint
+
+    # -- output-channel groups --------------------------------------------
+    k_wgt_max = weight_capacity // (per_c_elems * c_per_group)
+    k_out_max = output_capacity // (rows_per_group * out_w)
+    k_per_group = _floor_multiple(min(k_wgt_max, k_out_max), granule)
+    if k_per_group < granule:
+        if k_out_max < granule:
+            raise ResourceError(
+                f"{layer.name}: one output group of {granule} channels "
+                f"({granule * rows_per_group * out_w} elements) exceeds "
+                f"the output buffer half ({output_capacity})"
+            )
+        raise ResourceError(
+            f"{layer.name}: one weight granule does not fit the weight "
+            f"buffer half ({weight_capacity})"
+        )
+    k_per_group = min(k_per_group, k_padded)
+    n_k_groups = -(-k_padded // k_per_group)
+
+    weight_elems_group = k_per_group * c_per_group * per_c_elems
+    out_group_elems = k_per_group * rows_per_group * out_w
+
+    relu = bool(getattr(info.layer, "relu", False))
+    return LayerPartition(
+        layer_name=layer.name,
+        mode=mode,
+        channels=c,
+        out_channels=k,
+        kernel=(r, s),
+        stride=stride,
+        padding=padding,
+        in_h=in_h,
+        in_w=in_w,
+        out_h=out_h,
+        out_w=out_w,
+        fused_pool=fused_pool,
+        relu=relu,
+        rows_per_group=rows_per_group,
+        n_row_groups=n_row_groups,
+        strip_rows=strip_rows,
+        k_per_group=k_per_group,
+        n_k_groups=n_k_groups,
+        c_per_group=c_per_group,
+        n_c_groups=n_c_groups,
+        blocks=blocks,
+        strip_elems=strip_elems,
+        weight_elems_group=weight_elems_group,
+        out_group_elems=out_group_elems,
+    )
+
+
+def fused_pool_for(network, index: int) -> int:
+    """Pool size to fuse into layer ``index``'s SAVE path, or 1.
+
+    Only non-overlapping pooling (stride == size) directly following the
+    compute layer is fused; anything else is executed by the host
+    runtime between accelerator segments.
+    """
+    from repro.ir.layers import MaxPool2D
+
+    layers = network.layers
+    nxt = index + 1
+    if nxt < len(layers) and isinstance(layers[nxt], MaxPool2D):
+        pool = layers[nxt]
+        if pool.stride == pool.pool_size:
+            return pool.pool_size
+    return 1
+
+
+def row_groups(partition: LayerPartition) -> List[Tuple[int, int]]:
+    """(first output row, row count) of every row group."""
+    groups = []
+    y = 0
+    while y < partition.out_h:
+        rows = min(partition.rows_per_group, partition.out_h - y)
+        groups.append((y, rows))
+        y += rows
+    return groups
+
+
+def k_groups(partition: LayerPartition) -> List[Tuple[int, int]]:
+    """(first output channel, channel count) of every weight group,
+    clipped to the real (unpadded) channel count."""
+    groups = []
+    k = 0
+    while k < partition.out_channels:
+        count = min(partition.k_per_group, partition.out_channels - k)
+        groups.append((k, count))
+        k += count
+    return groups
+
+
+def c_groups(partition: LayerPartition) -> List[Tuple[int, int]]:
+    """(first input channel, channel count) of every channel chunk."""
+    groups = []
+    c = 0
+    while c < partition.channels:
+        count = min(partition.c_per_group, partition.channels - c)
+        groups.append((c, count))
+        c += count
+    return groups

@@ -1,0 +1,126 @@
+"""Mode / dataflow selections — the software-perspective DSE parameters.
+
+Table 2: ``mode_l in {"spat", "wino"}``, ``dataflow_l in {"is", "ws"}``
+for every CONV or FC layer ``l``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+from repro.errors import CompileError
+from repro.ir.graph import LayerInfo, Network
+from repro.ir.layers import Conv2D, Dense
+
+MODES = ("spat", "wino")
+DATAFLOWS = ("is", "ws")
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Mode and dataflow choice for one compute layer."""
+
+    layer_name: str
+    mode: str
+    dataflow: str
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise CompileError(
+                f"{self.layer_name}: unknown mode {self.mode!r}"
+            )
+        if self.dataflow not in DATAFLOWS:
+            raise CompileError(
+                f"{self.layer_name}: unknown dataflow {self.dataflow!r}"
+            )
+
+
+def winograd_supported(info: LayerInfo) -> bool:
+    """Whether the accelerator can run this layer in Winograd mode.
+
+    Winograd requires stride 1 (Section 4.2.5 extends kernel *size*, not
+    stride).  Dense layers are executed as 1x1 convolutions and are
+    technically Winograd-capable, but with tile overhead
+    ``PT^2 / m^2 > 1`` the DSE never selects it; we still allow it.
+    """
+    layer = info.layer
+    if isinstance(layer, Conv2D):
+        return layer.stride == 1
+    if isinstance(layer, Dense):
+        return True
+    return False
+
+
+@dataclass
+class NetworkMapping:
+    """Per-layer mapping for every compute layer of a network."""
+
+    network_name: str
+    layers: List[LayerMapping] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [m.layer_name for m in self.layers]
+        if len(names) != len(set(names)):
+            raise CompileError("duplicate layer names in mapping")
+        self._by_name: Dict[str, LayerMapping] = {
+            m.layer_name: m for m in self.layers
+        }
+
+    def __iter__(self) -> Iterator[LayerMapping]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def for_layer(self, layer_name: str) -> LayerMapping:
+        try:
+            return self._by_name[layer_name]
+        except KeyError:
+            raise CompileError(
+                f"no mapping for layer {layer_name!r}"
+            ) from None
+
+    def validate_against(self, network: Network) -> None:
+        """Check the mapping covers exactly the network's compute layers
+        and respects mode restrictions."""
+        compute = network.compute_layers()
+        expected = {info.layer.name for info in compute}
+        got = set(self._by_name)
+        if expected != got:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            raise CompileError(
+                f"mapping mismatch: missing={missing} extra={extra}"
+            )
+        for info in compute:
+            mapping = self._by_name[info.layer.name]
+            if mapping.mode == "wino" and not winograd_supported(info):
+                raise CompileError(
+                    f"{info.layer.name}: Winograd mode not supported "
+                    "(stride > 1)"
+                )
+
+    @classmethod
+    def uniform(
+        cls, network: Network, mode: str = "spat", dataflow: str = "is"
+    ) -> "NetworkMapping":
+        """Same mode/dataflow for every compute layer (mode downgraded to
+        Spatial where Winograd is unsupported)."""
+        layers = []
+        for info in network.compute_layers():
+            layer_mode = mode
+            if layer_mode == "wino" and not winograd_supported(info):
+                layer_mode = "spat"
+            layers.append(
+                LayerMapping(info.layer.name, layer_mode, dataflow)
+            )
+        return cls(network.name, layers)
+
+    def counts(self) -> Dict[str, int]:
+        """How many layers use each mode/dataflow (for reports)."""
+        result = {"spat": 0, "wino": 0, "is": 0, "ws": 0}
+        for mapping in self.layers:
+            result[mapping.mode] += 1
+            result[mapping.dataflow] += 1
+        return result

@@ -1,0 +1,42 @@
+"""Cycle-approximate, functionally-accurate accelerator simulator.
+
+Substitutes for the paper's FPGA execution (see DESIGN.md).  The
+simulator executes compiled :class:`~repro.isa.program.Program` streams
+against the four-module architecture of Figure 3:
+
+* per-module in-order execution with handshake-FIFO tokens (Section 4.1),
+* DDR bandwidth and port-width limits per Eq. 8-11,
+* the actual PE datapath (Winograd transforms included), producing real
+  output feature maps that are checked against the numpy reference.
+
+"Real" numbers in the Figure-6 reproduction come from here; "Esti."
+numbers come from :mod:`repro.estimator`.
+"""
+
+from repro.sim.simulator import (
+    AcceleratorSimulator,
+    LayerTiming,
+    ModuleStats,
+    SimulationResult,
+)
+from repro.sim.trace import (
+    TraceRecord,
+    module_occupancy,
+    render_gantt,
+    summarize,
+    trace_from_json,
+    trace_to_json,
+)
+
+__all__ = [
+    "AcceleratorSimulator",
+    "LayerTiming",
+    "ModuleStats",
+    "SimulationResult",
+    "TraceRecord",
+    "module_occupancy",
+    "render_gantt",
+    "summarize",
+    "trace_from_json",
+    "trace_to_json",
+]

@@ -1,0 +1,112 @@
+"""Execution traces: per-instruction timing records and rendering.
+
+When the simulator runs with ``trace=True`` it records one
+:class:`TraceRecord` per instruction.  The records can be exported to
+JSON for external tooling or rendered as an ASCII Gantt chart — the
+quickest way to *see* the producer/consumer overlap the handshake FIFOs
+buy (Section 4.1's "effectively hide the external memory access
+latency").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import SimulationError
+
+#: Display order of the four functional modules.
+MODULE_ORDER = ("LOAD_INP", "LOAD_WGT", "COMP", "SAVE")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One instruction's execution window."""
+
+    index: int
+    opcode: str
+    module: str
+    start: int
+    finish: int
+
+    @property
+    def cycles(self) -> int:
+        return self.finish - self.start
+
+
+def trace_to_json(records: List[TraceRecord],
+                  path: Union[str, Path, None] = None) -> str:
+    """Serialise records to JSON (optionally writing ``path``)."""
+    text = json.dumps([asdict(r) for r in records], indent=2)
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def trace_from_json(text: str) -> List[TraceRecord]:
+    """Inverse of :func:`trace_to_json`."""
+    return [TraceRecord(**item) for item in json.loads(text)]
+
+
+def module_occupancy(records: List[TraceRecord]) -> dict:
+    """Busy-cycle sum per module."""
+    busy = {name: 0 for name in MODULE_ORDER}
+    for record in records:
+        busy.setdefault(record.module, 0)
+        busy[record.module] += record.cycles
+    return busy
+
+
+def render_gantt(records: List[TraceRecord], width: int = 72,
+                 start: int = 0, end: int = None) -> str:
+    """ASCII Gantt chart: one row per module, time left to right.
+
+    Each instruction paints its window with the first letter of its
+    opcode; overlap across rows is the pipelining the architecture
+    achieves.
+    """
+    if not records:
+        raise SimulationError("no trace records to render")
+    if end is None:
+        end = max(r.finish for r in records)
+    span = max(1, end - start)
+    scale = width / span
+
+    rows = {}
+    for name in MODULE_ORDER:
+        rows[name] = [" "] * width
+    for record in records:
+        if record.finish <= start or record.start >= end:
+            continue
+        row = rows.setdefault(record.module, [" "] * width)
+        a = max(0, int((record.start - start) * scale))
+        b = min(width, max(a + 1, int((record.finish - start) * scale)))
+        mark = record.opcode[0]  # L, C or S
+        if record.opcode == "LOAD_WGT":
+            mark = "W"
+        elif record.opcode == "LOAD_BIAS":
+            mark = "B"
+        for i in range(a, b):
+            row[i] = mark
+    lines = [f"cycles {start}..{end} ({span} total)"]
+    for name in MODULE_ORDER:
+        lines.append(f"{name:9s}|{''.join(rows[name])}|")
+    return "\n".join(lines)
+
+
+def summarize(records: List[TraceRecord]) -> str:
+    """One-paragraph utilisation summary."""
+    if not records:
+        return "empty trace"
+    total = max(r.finish for r in records)
+    busy = module_occupancy(records)
+    parts = [
+        f"{name} {busy.get(name, 0) / total * 100:.0f}%"
+        for name in MODULE_ORDER
+    ]
+    return (
+        f"{len(records)} instructions over {total} cycles; "
+        f"module occupancy: " + ", ".join(parts)
+    )

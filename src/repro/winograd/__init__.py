@@ -1,0 +1,51 @@
+"""Winograd fast convolution (Section 4.2.1 and Eq. 1-2 of the paper).
+
+Supports the two algorithm sizes the accelerator implements,
+``F(2x2, 3x3)`` (tile ``PT = 4``) and ``F(4x4, 3x3)`` (tile ``PT = 6``),
+plus the kernel-decomposition method of Section 4.2.5 that extends them
+to arbitrary kernel sizes.
+
+Public API
+----------
+``WinogradAlgorithm`` / ``get_algorithm``
+    Transform matrices A, G, B and derived constants.
+``transform_weight`` / ``transform_input`` / ``transform_output``
+    The three transforms of Eq. 1.
+``winograd_conv2d``
+    Full convolution of a CHW feature map via Winograd tiling (any kernel
+    size through decomposition).
+``direct_conv2d``
+    Spatial-convolution reference.
+``decompose_kernel``
+    The ceil(R/r) x ceil(S/r) kernel decomposition.
+"""
+
+from repro.winograd.matrices import WinogradAlgorithm, get_algorithm
+from repro.winograd.transforms import (
+    transform_input,
+    transform_output,
+    transform_weight,
+)
+from repro.winograd.decompose import decompose_kernel, decomposition_blocks
+from repro.winograd.reference import (
+    avg_pool2d,
+    direct_conv2d,
+    max_pool2d,
+    relu,
+)
+from repro.winograd.conv import winograd_conv2d
+
+__all__ = [
+    "WinogradAlgorithm",
+    "avg_pool2d",
+    "decompose_kernel",
+    "decomposition_blocks",
+    "direct_conv2d",
+    "get_algorithm",
+    "max_pool2d",
+    "relu",
+    "transform_input",
+    "transform_output",
+    "transform_weight",
+    "winograd_conv2d",
+]

@@ -1,0 +1,112 @@
+"""Full Winograd convolution over CHW feature maps.
+
+Implements the GEMM form of Eq. 2: each of the ``t x t`` positions of the
+element-wise matrix multiplication is an independent GEMM across
+channels, which is exactly how the accelerator's PT x PT GEMM-core array
+executes it.  Kernels larger than ``r x r`` go through the kernel
+decomposition of Section 4.2.5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError, UnsupportedLayerError
+from repro.winograd.decompose import decompose_kernel
+from repro.winograd.matrices import get_algorithm
+from repro.winograd.transforms import (
+    assemble_output_tiles,
+    extract_input_tiles,
+    pad_feature_for_tiling,
+    transform_input,
+    transform_output,
+    transform_weight,
+)
+
+
+def winograd_conv2d(
+    feature: np.ndarray,
+    kernels: np.ndarray,
+    bias: np.ndarray = None,
+    m: int = 4,
+    padding: int = 0,
+    stride: int = 1,
+) -> np.ndarray:
+    """Convolve ``(C, H, W)`` with ``(K, C, R, S)`` using F(m x m, 3 x 3).
+
+    Any ``R, S >= 1`` is supported via kernel decomposition; ``stride``
+    must be 1 (the accelerator runs strided layers in Spatial mode).
+
+    Returns ``(K, H_out, W_out)`` identical (up to float round-off) to
+    :func:`repro.winograd.reference.direct_conv2d`.
+    """
+    if stride != 1:
+        raise UnsupportedLayerError(
+            "Winograd mode requires stride 1; use Spatial mode instead"
+        )
+    alg = get_algorithm(m, 3)
+    feature = np.asarray(feature, dtype=np.float64)
+    kernels = np.asarray(kernels, dtype=np.float64)
+    if feature.ndim != 3:
+        raise ShapeError(f"feature must be CHW, got {feature.shape}")
+    if kernels.ndim != 4:
+        raise ShapeError(f"kernels must be KCRS, got {kernels.shape}")
+    c, h, w = feature.shape
+    k, kc, kernel_h, kernel_w = kernels.shape
+    if kc != c:
+        raise ShapeError(f"channel mismatch: feature C={c}, kernel C={kc}")
+    if padding:
+        feature = np.pad(
+            feature, ((0, 0), (padding, padding), (padding, padding))
+        )
+        h += 2 * padding
+        w += 2 * padding
+    if h < kernel_h or w < kernel_w:
+        raise ShapeError(
+            f"padded input {h}x{w} smaller than kernel {kernel_h}x{kernel_w}"
+        )
+    out_h = h - kernel_h + 1
+    out_w = w - kernel_w + 1
+
+    out = np.zeros((k, out_h, out_w), dtype=np.float64)
+    for (dr, ds), block in decompose_kernel(kernels, alg.r):
+        # Offline weight transform (Section 4.2.3): U = G g G^T.
+        u = transform_weight(alg, block)  # (K, C, t, t)
+        # The partial convolution for this block reads the input shifted
+        # by the block offset.
+        window = feature[:, dr:, ds:]
+        window = pad_feature_for_tiling(alg, window, out_h, out_w)
+        tiles = extract_input_tiles(alg, window)  # (C, ny, nx, t, t)
+        v = transform_input(alg, tiles)
+        # Eq. 2: per tile position, GEMM over channels.
+        ewmm = np.einsum("kcij,cyxij->kyxij", u, v, optimize=True)
+        y = transform_output(alg, ewmm)  # (K, ny, nx, m, m)
+        out += assemble_output_tiles(y, out_h, out_w)
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.float64)
+        if bias.shape != (k,):
+            raise ShapeError(f"bias must be ({k},), got {bias.shape}")
+        out += bias[:, None, None]
+    return out
+
+
+def winograd_multiplications(
+    k: int, c: int, kernel_h: int, kernel_w: int, out_h: int, out_w: int, m: int
+) -> int:
+    """Number of scalar multiplications of the Winograd execution.
+
+    Used by tests to check the Section-4.2.1 claim (4x reduction for
+    F(4x4, 3x3)) and by the ablation benchmarks.
+    """
+    alg = get_algorithm(m, 3)
+    blocks = (-(-kernel_h // alg.r)) * (-(-kernel_w // alg.r))
+    tiles_y = -(-out_h // alg.m)
+    tiles_x = -(-out_w // alg.m)
+    return k * c * blocks * tiles_y * tiles_x * alg.tile ** 2
+
+
+def spatial_multiplications(
+    k: int, c: int, kernel_h: int, kernel_w: int, out_h: int, out_w: int
+) -> int:
+    """Number of scalar multiplications of the direct execution."""
+    return k * c * kernel_h * kernel_w * out_h * out_w

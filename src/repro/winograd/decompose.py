@@ -1,0 +1,75 @@
+"""Kernel decomposition for large kernels (Section 4.2.5).
+
+A CONV layer with an ``R x S`` kernel (``R > r`` or ``S > r``) is
+decomposed into ``ceil(R/r) x ceil(S/r)`` kernels of size ``r x r`` (zero
+padded where the original kernel does not fill a block).  Running the
+``F(m x m, r x r)`` algorithm once per block on a correspondingly shifted
+input window and accumulating the partial results reproduces the full
+convolution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def decomposition_blocks(kernel_h: int, kernel_w: int, r: int) -> List[Tuple[int, int]]:
+    """Row/column offsets of each ``r x r`` block of the decomposition.
+
+    Returns the list of ``(dr, ds)`` top-left offsets, in row-major order;
+    its length is ``ceil(R/r) * ceil(S/r)`` — the factor appearing in the
+    Winograd latency model (Eq. 7, 9).
+    """
+    if kernel_h <= 0 or kernel_w <= 0 or r <= 0:
+        raise ShapeError(
+            f"bad decomposition arguments R={kernel_h} S={kernel_w} r={r}"
+        )
+    return [
+        (br * r, bs * r)
+        for br in range(-(-kernel_h // r))
+        for bs in range(-(-kernel_w // r))
+    ]
+
+
+def decompose_kernel(kernels: np.ndarray, r: int) -> List[Tuple[Tuple[int, int], np.ndarray]]:
+    """Split ``(K, C, R, S)`` kernels into zero-padded ``r x r`` blocks.
+
+    Returns ``[((dr, ds), block), ...]`` where ``block`` has shape
+    ``(K, C, r, r)`` and ``(dr, ds)`` is the offset of the block inside
+    the original kernel (equal to the input-window shift to apply when
+    accumulating partial convolutions).
+    """
+    kernels = np.asarray(kernels, dtype=np.float64)
+    if kernels.ndim != 4:
+        raise ShapeError(f"kernels must be KCRS, got {kernels.shape}")
+    k, c, kernel_h, kernel_w = kernels.shape
+    blocks = []
+    for dr, ds in decomposition_blocks(kernel_h, kernel_w, r):
+        block = np.zeros((k, c, r, r), dtype=np.float64)
+        rows = min(r, kernel_h - dr)
+        cols = min(r, kernel_w - ds)
+        block[:, :, :rows, :cols] = kernels[:, :, dr : dr + rows, ds : ds + cols]
+        blocks.append(((dr, ds), block))
+    return blocks
+
+
+def reconstruct_kernel(
+    blocks: List[Tuple[Tuple[int, int], np.ndarray]],
+    kernel_h: int,
+    kernel_w: int,
+) -> np.ndarray:
+    """Inverse of :func:`decompose_kernel` (used by property tests)."""
+    if not blocks:
+        raise ShapeError("no blocks to reconstruct from")
+    (dr0, ds0), first = blocks[0]
+    k, c, r, _ = first.shape
+    kernels = np.zeros((k, c, kernel_h, kernel_w), dtype=np.float64)
+    for (dr, ds), block in blocks:
+        rows = min(r, kernel_h - dr)
+        cols = min(r, kernel_w - ds)
+        kernels[:, :, dr : dr + rows, ds : ds + cols] = block[:, :, :rows, :cols]
+    return kernels

@@ -1,0 +1,167 @@
+"""Winograd transform matrices.
+
+The ``F(m x m, r x r)`` algorithm (Lavin & Gray, CVPR 2016 — the paper's
+reference [18]) computes an ``m x m`` output tile from an
+``(m + r - 1) x (m + r - 1)`` input tile using three constant matrices:
+
+* ``G``  (shape ``t x r``)   — weight transform ``U = G g G^T``
+* ``B^T`` (shape ``t x t``)  — input transform  ``V = B^T d B``
+* ``A^T`` (shape ``m x t``)  — output transform ``Y = A^T (U .* V) A``
+
+where ``t = m + r - 1`` is the tile size — the paper's ``PT``.
+HybridDNN instantiates ``F(2x2, 3x3)`` (PT=4) and ``F(4x4, 3x3)`` (PT=6);
+larger tiles are rejected because the extra additions erase the benefit
+(Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class WinogradAlgorithm:
+    """One F(m x m, r x r) algorithm instance.
+
+    Matrices are stored as read-only float64 arrays.  ``tile`` is the
+    input-tile edge ``m + r - 1`` (= the accelerator's ``PT``), ``m`` the
+    output-tile edge and ``r`` the kernel edge.
+    """
+
+    m: int
+    r: int
+    bt: np.ndarray = field(repr=False)
+    g: np.ndarray = field(repr=False)
+    at: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        t = self.tile
+        if self.bt.shape != (t, t):
+            raise ReproError(f"B^T must be {t}x{t}, got {self.bt.shape}")
+        if self.g.shape != (t, self.r):
+            raise ReproError(f"G must be {t}x{self.r}, got {self.g.shape}")
+        if self.at.shape != (self.m, t):
+            raise ReproError(f"A^T must be {self.m}x{t}, got {self.at.shape}")
+        for mat in (self.bt, self.g, self.at):
+            mat.setflags(write=False)
+
+    @property
+    def tile(self) -> int:
+        """Input tile edge ``m + r - 1`` — the paper's ``PT``."""
+        return self.m + self.r - 1
+
+    @property
+    def multiplication_reduction(self) -> float:
+        """Ratio of spatial to Winograd multiplications per output tile.
+
+        For F(4x4, 3x3): 144 spatial vs 36 Winograd = 4.0 (Section 4.2.1).
+        """
+        spatial = (self.m * self.r) ** 2
+        winograd = self.tile ** 2
+        return spatial / winograd
+
+    def __str__(self) -> str:
+        return f"F({self.m}x{self.m}, {self.r}x{self.r})"
+
+
+def _f2x2_3x3() -> WinogradAlgorithm:
+    bt = np.array(
+        [
+            [1, 0, -1, 0],
+            [0, 1, 1, 0],
+            [0, -1, 1, 0],
+            [0, 1, 0, -1],
+        ],
+        dtype=np.float64,
+    )
+    g = np.array(
+        [
+            [1, 0, 0],
+            [0.5, 0.5, 0.5],
+            [0.5, -0.5, 0.5],
+            [0, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    at = np.array(
+        [
+            [1, 1, 1, 0],
+            [0, 1, -1, -1],
+        ],
+        dtype=np.float64,
+    )
+    return WinogradAlgorithm(m=2, r=3, bt=bt, g=g, at=at)
+
+
+def _f4x4_3x3() -> WinogradAlgorithm:
+    bt = np.array(
+        [
+            [4, 0, -5, 0, 1, 0],
+            [0, -4, -4, 1, 1, 0],
+            [0, 4, -4, -1, 1, 0],
+            [0, -2, -1, 2, 1, 0],
+            [0, 2, -1, -2, 1, 0],
+            [0, 4, 0, -5, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    g = np.array(
+        [
+            [1 / 4, 0, 0],
+            [-1 / 6, -1 / 6, -1 / 6],
+            [-1 / 6, 1 / 6, -1 / 6],
+            [1 / 24, 1 / 12, 1 / 6],
+            [1 / 24, -1 / 12, 1 / 6],
+            [0, 0, 1],
+        ],
+        dtype=np.float64,
+    )
+    at = np.array(
+        [
+            [1, 1, 1, 1, 1, 0],
+            [0, 1, -1, 2, -2, 0],
+            [0, 1, 1, 4, 4, 0],
+            [0, 1, -1, 8, -8, 1],
+        ],
+        dtype=np.float64,
+    )
+    return WinogradAlgorithm(m=4, r=3, bt=bt, g=g, at=at)
+
+
+_ALGORITHMS = {
+    (2, 3): _f2x2_3x3(),
+    (4, 3): _f4x4_3x3(),
+}
+
+#: Tile sizes the accelerator supports (PT constraint of Table 2).
+SUPPORTED_TILES = tuple(sorted(alg.tile for alg in _ALGORITHMS.values()))
+
+
+def get_algorithm(m: int, r: int = 3) -> WinogradAlgorithm:
+    """Return the F(m x m, r x r) algorithm.
+
+    Only F(2x2, 3x3) and F(4x4, 3x3) exist, per the paper's PT in {4, 6}
+    constraint.
+    """
+    try:
+        return _ALGORITHMS[(m, r)]
+    except KeyError:
+        raise ReproError(
+            f"unsupported Winograd algorithm F({m}x{m}, {r}x{r}); "
+            f"supported: {sorted(_ALGORITHMS)}"
+        ) from None
+
+
+def algorithm_for_tile(tile: int) -> WinogradAlgorithm:
+    """Return the algorithm whose input tile edge (PT) is ``tile``."""
+    for alg in _ALGORITHMS.values():
+        if alg.tile == tile:
+            return alg
+    raise ReproError(
+        f"no Winograd algorithm with tile size {tile}; "
+        f"supported tiles: {SUPPORTED_TILES}"
+    )

@@ -1,0 +1,130 @@
+"""Reference (spatial) implementations of the DNN operators.
+
+These are the golden models: the Winograd engine, the PE functional model
+and the end-to-end accelerator simulation are all checked against them.
+Everything is plain numpy in float64, favouring clarity over speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def direct_conv2d(
+    feature: np.ndarray,
+    kernels: np.ndarray,
+    bias: np.ndarray = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Direct (Spatial) convolution.
+
+    Parameters
+    ----------
+    feature:
+        ``(C, H, W)`` input feature map.
+    kernels:
+        ``(K, C, R, S)`` kernel tensor.
+    bias:
+        Optional ``(K,)`` bias.
+    stride, padding:
+        Common spatial stride and symmetric zero padding.
+
+    Returns
+    -------
+    ``(K, H_out, W_out)`` output feature map.
+    """
+    feature = np.asarray(feature, dtype=np.float64)
+    kernels = np.asarray(kernels, dtype=np.float64)
+    if feature.ndim != 3:
+        raise ShapeError(f"feature must be CHW, got {feature.shape}")
+    if kernels.ndim != 4:
+        raise ShapeError(f"kernels must be KCRS, got {kernels.shape}")
+    c, h, w = feature.shape
+    k, kc, r, s = kernels.shape
+    if kc != c:
+        raise ShapeError(f"channel mismatch: feature C={c}, kernel C={kc}")
+    if padding:
+        feature = np.pad(
+            feature, ((0, 0), (padding, padding), (padding, padding))
+        )
+        h += 2 * padding
+        w += 2 * padding
+    if h < r or w < s:
+        raise ShapeError(
+            f"padded input {h}x{w} smaller than kernel {r}x{s}"
+        )
+    out_h = (h - r) // stride + 1
+    out_w = (w - s) // stride + 1
+    out = np.zeros((k, out_h, out_w), dtype=np.float64)
+    # Accumulate over kernel offsets: for each (dr, ds) the contribution is
+    # a strided slice of the input times the kernel coefficient.
+    for dr in range(r):
+        for ds in range(s):
+            patch = feature[
+                :,
+                dr : dr + (out_h - 1) * stride + 1 : stride,
+                ds : ds + (out_w - 1) * stride + 1 : stride,
+            ]
+            out += np.einsum("kc,chw->khw", kernels[:, :, dr, ds], patch)
+    if bias is not None:
+        bias = np.asarray(bias, dtype=np.float64)
+        if bias.shape != (k,):
+            raise ShapeError(f"bias must be ({k},), got {bias.shape}")
+        out += bias[:, None, None]
+    return out
+
+
+def dense(
+    vector: np.ndarray, weights: np.ndarray, bias: np.ndarray = None
+) -> np.ndarray:
+    """Fully-connected layer: ``y = W x + b``.
+
+    ``vector`` is 1-D with ``N`` elements, ``weights`` is ``(M, N)``.
+    """
+    vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[1] != vector.size:
+        raise ShapeError(
+            f"weights {weights.shape} incompatible with input {vector.size}"
+        )
+    out = weights @ vector
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float64)
+    return out
+
+
+def relu(array: np.ndarray) -> np.ndarray:
+    """Element-wise max(x, 0)."""
+    return np.maximum(np.asarray(array, dtype=np.float64), 0.0)
+
+
+def _pool2d(feature: np.ndarray, pool: int, stride: int, reducer) -> np.ndarray:
+    feature = np.asarray(feature, dtype=np.float64)
+    if feature.ndim != 3:
+        raise ShapeError(f"feature must be CHW, got {feature.shape}")
+    c, h, w = feature.shape
+    if h < pool or w < pool:
+        raise ShapeError(f"input {h}x{w} smaller than pool window {pool}")
+    out_h = (h - pool) // stride + 1
+    out_w = (w - pool) // stride + 1
+    out = np.empty((c, out_h, out_w), dtype=np.float64)
+    for y in range(out_h):
+        for x in range(out_w):
+            window = feature[
+                :, y * stride : y * stride + pool, x * stride : x * stride + pool
+            ]
+            out[:, y, x] = reducer(window.reshape(c, -1), axis=1)
+    return out
+
+
+def max_pool2d(feature: np.ndarray, pool: int, stride: int = 0) -> np.ndarray:
+    """Max pooling over ``pool x pool`` windows."""
+    return _pool2d(feature, pool, stride or pool, np.max)
+
+
+def avg_pool2d(feature: np.ndarray, pool: int, stride: int = 0) -> np.ndarray:
+    """Average pooling over ``pool x pool`` windows."""
+    return _pool2d(feature, pool, stride or pool, np.mean)

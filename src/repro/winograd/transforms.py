@@ -1,0 +1,141 @@
+"""The three Winograd transforms of Eq. 1.
+
+All functions operate on float64 numpy arrays and support leading batch
+dimensions so whole channel sets can be transformed in one call:
+
+* :func:`transform_weight` — offline ``U = G g G^T`` (performed on the
+  host before deployment, Section 4.2.3).
+* :func:`transform_input` — online ``V = B^T d B`` (performed by the load
+  manager).
+* :func:`transform_output` — online ``Y = A^T M A`` with
+  ``M = sum_c U .* V`` (performed by the save manager).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.winograd.matrices import WinogradAlgorithm
+
+
+def _apply_two_sided(left: np.ndarray, tiles: np.ndarray, right: np.ndarray):
+    """Compute ``left @ tile @ right`` over the last two axes of ``tiles``."""
+    return np.einsum("ij,...jk,kl->...il", left, tiles, right, optimize=True)
+
+
+def transform_weight(alg: WinogradAlgorithm, kernels: np.ndarray) -> np.ndarray:
+    """Weight transform ``U = G g G^T``.
+
+    ``kernels`` has shape ``(..., r, r)``; the result has shape
+    ``(..., t, t)`` where ``t = alg.tile``.
+    """
+    kernels = np.asarray(kernels, dtype=np.float64)
+    if kernels.shape[-2:] != (alg.r, alg.r):
+        raise ShapeError(
+            f"kernel tail shape {kernels.shape[-2:]} does not match r={alg.r}"
+        )
+    return _apply_two_sided(alg.g, kernels, alg.g.T)
+
+
+def transform_input(alg: WinogradAlgorithm, tiles: np.ndarray) -> np.ndarray:
+    """Input transform ``V = B^T d B``.
+
+    ``tiles`` has shape ``(..., t, t)``; the result has the same shape.
+    """
+    tiles = np.asarray(tiles, dtype=np.float64)
+    t = alg.tile
+    if tiles.shape[-2:] != (t, t):
+        raise ShapeError(
+            f"input tile tail shape {tiles.shape[-2:]} does not match t={t}"
+        )
+    return _apply_two_sided(alg.bt, tiles, alg.bt.T)
+
+
+def transform_output(alg: WinogradAlgorithm, tiles: np.ndarray) -> np.ndarray:
+    """Output transform ``Y = A^T M A``.
+
+    ``tiles`` has shape ``(..., t, t)``; the result has shape
+    ``(..., m, m)``.
+    """
+    tiles = np.asarray(tiles, dtype=np.float64)
+    t = alg.tile
+    if tiles.shape[-2:] != (t, t):
+        raise ShapeError(
+            f"EWMM tile tail shape {tiles.shape[-2:]} does not match t={t}"
+        )
+    return _apply_two_sided(alg.at, tiles, alg.at.T)
+
+
+def extract_input_tiles(
+    alg: WinogradAlgorithm, feature: np.ndarray
+) -> np.ndarray:
+    """Partition a padded ``(C, H, W)`` feature map into overlapping tiles.
+
+    Adjacent tiles overlap by ``r - 1`` (Section 4.2.1).  ``H - r + 1``
+    and ``W - r + 1`` must be divisible by ``m`` (pad beforehand with
+    :func:`pad_feature_for_tiling`).  The result has shape
+    ``(C, n_y, n_x, t, t)``.
+    """
+    feature = np.asarray(feature, dtype=np.float64)
+    if feature.ndim != 3:
+        raise ShapeError(f"feature must be CHW, got shape {feature.shape}")
+    c, h, w = feature.shape
+    m, t = alg.m, alg.tile
+    if (h - alg.r + 1) % m or (w - alg.r + 1) % m:
+        raise ShapeError(
+            f"feature {h}x{w} is not tileable by {alg}: output dims "
+            f"{h - alg.r + 1}x{w - alg.r + 1} not divisible by m={m}"
+        )
+    n_y = (h - alg.r + 1) // m
+    n_x = (w - alg.r + 1) // m
+    tiles = np.empty((c, n_y, n_x, t, t), dtype=np.float64)
+    for ty in range(n_y):
+        for tx in range(n_x):
+            tiles[:, ty, tx] = feature[
+                :, ty * m : ty * m + t, tx * m : tx * m + t
+            ]
+    return tiles
+
+
+def pad_feature_for_tiling(
+    alg: WinogradAlgorithm, feature: np.ndarray, out_h: int, out_w: int
+) -> np.ndarray:
+    """Zero-pad (or crop) a CHW feature on bottom/right so Winograd tiling
+    covers exactly an ``out_h x out_w`` valid-convolution output.
+
+    Cropping happens when the caller hands a window larger than the tiled
+    coverage (e.g. a shifted window during kernel decomposition); the
+    cropped rows/columns can never influence the first ``out_h x out_w``
+    outputs, so this is lossless.
+    """
+    feature = np.asarray(feature, dtype=np.float64)
+    m = alg.m
+    tiled_out_h = -(-out_h // m) * m
+    tiled_out_w = -(-out_w // m) * m
+    need_h = tiled_out_h + alg.r - 1
+    need_w = tiled_out_w + alg.r - 1
+    feature = feature[:, :need_h, :need_w]
+    pad_h = need_h - feature.shape[1]
+    pad_w = need_w - feature.shape[2]
+    if pad_h == 0 and pad_w == 0:
+        return feature
+    return np.pad(feature, ((0, 0), (0, pad_h), (0, pad_w)))
+
+
+def assemble_output_tiles(
+    tiles: np.ndarray, out_h: int, out_w: int
+) -> np.ndarray:
+    """Stitch ``(K, n_y, n_x, m, m)`` output tiles back into
+    ``(K, out_h, out_w)``, cropping tiling overshoot."""
+    tiles = np.asarray(tiles)
+    if tiles.ndim != 5 or tiles.shape[-1] != tiles.shape[-2]:
+        raise ShapeError(f"bad output tile array shape {tiles.shape}")
+    k, n_y, n_x, m, _ = tiles.shape
+    full = tiles.transpose(0, 1, 3, 2, 4).reshape(k, n_y * m, n_x * m)
+    if full.shape[1] < out_h or full.shape[2] < out_w:
+        raise ShapeError(
+            f"assembled output {full.shape[1]}x{full.shape[2]} smaller "
+            f"than requested {out_h}x{out_w}"
+        )
+    return full[:, :out_h, :out_w]

@@ -1,0 +1,81 @@
+"""Shared fixtures: small configurations and networks that keep the
+functional simulator fast while exercising every architectural path."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import AcceleratorConfig
+from repro.fpga import get_device
+from repro.ir import zoo
+from repro.runtime import generate_parameters
+
+
+@pytest.fixture(scope="session")
+def pynq():
+    return get_device("pynq-z1")
+
+
+@pytest.fixture(scope="session")
+def vu9p():
+    return get_device("vu9p")
+
+
+@pytest.fixture(scope="session")
+def cfg_pt4():
+    """Small PT=4 instance (F(2x2,3x3)) with modest buffers."""
+    return AcceleratorConfig(
+        pi=4, po=4, pt=4, instances=1, frequency_mhz=100.0,
+        input_buffer_vecs=4096, weight_buffer_vecs=2048,
+        output_buffer_vecs=2048,
+    )
+
+
+@pytest.fixture(scope="session")
+def cfg_pt6():
+    """Small PT=6 instance (F(4x4,3x3))."""
+    return AcceleratorConfig(
+        pi=4, po=4, pt=6, instances=1, frequency_mhz=100.0,
+        input_buffer_vecs=4096, weight_buffer_vecs=2048,
+        output_buffer_vecs=2048,
+    )
+
+
+@pytest.fixture(scope="session")
+def cfg_vu9p_paper():
+    """The paper's VU9P case-study configuration."""
+    return AcceleratorConfig(
+        pi=4, po=4, pt=6, instances=6, frequency_mhz=167.0,
+        input_buffer_vecs=32768, weight_buffer_vecs=16384,
+        output_buffer_vecs=16384,
+    )
+
+
+@pytest.fixture(scope="session")
+def cfg_pynq_paper():
+    """The paper's PYNQ-Z1 case-study configuration."""
+    return AcceleratorConfig(
+        pi=4, po=4, pt=4, instances=1, frequency_mhz=100.0,
+        input_buffer_vecs=8192, weight_buffer_vecs=4096,
+        output_buffer_vecs=4096,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_net():
+    return zoo.tiny_cnn(input_size=16, channels=8)
+
+
+@pytest.fixture(scope="session")
+def tiny_params(tiny_net):
+    return generate_parameters(tiny_net, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_image(tiny_net):
+    rng = np.random.default_rng(3)
+    return rng.normal(size=tiny_net.input_shape.as_tuple())
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,81 @@
+"""Tests for repro.analysis.export — CSV/JSON row export."""
+
+import csv
+import io
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.analysis.export import rows_to_csv, rows_to_json
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Row:
+    name: str
+    value: float
+    count: int
+
+
+ROWS = [Row("a", 1.5, 2), Row("b", -0.25, 0)]
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = rows_to_csv(ROWS)
+        reader = list(csv.DictReader(io.StringIO(text)))
+        assert len(reader) == 2
+        assert reader[0]["name"] == "a"
+        assert float(reader[1]["value"]) == -0.25
+
+    def test_column_selection(self):
+        text = rows_to_csv(ROWS, columns=["name", "count"])
+        assert "value" not in text.splitlines()[0]
+
+    def test_file_output(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        rows_to_csv(ROWS, path)
+        assert path.read_text().startswith("name,")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            rows_to_csv([])
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(ReproError):
+            rows_to_csv([{"a": 1}])
+
+
+class TestJson:
+    def test_roundtrip(self):
+        data = json.loads(rows_to_json(ROWS))
+        assert data == [
+            {"name": "a", "value": 1.5, "count": 2},
+            {"name": "b", "value": -0.25, "count": 0},
+        ]
+
+    def test_file_output(self, tmp_path):
+        path = tmp_path / "rows.json"
+        rows_to_json(ROWS, path)
+        assert json.loads(path.read_text())[0]["name"] == "a"
+
+
+class TestExperimentRows:
+    def test_figure6_points_export(self):
+        from repro.experiments.figure6 import Figure6Point
+
+        points = [
+            Figure6Point(0, 3, 56, 128, 700.0, 650.0, 180.0, 175.0),
+            Figure6Point(1, 1, 14, 512, 70.0, 55.0, 180.0, 170.0),
+        ]
+        text = rows_to_csv(points)
+        assert "wino_real_gops" in text
+        data = json.loads(rows_to_json(points))
+        assert data[1]["kernel"] == 1
+
+    def test_table3_rows_export(self):
+        from repro.experiments.table3 import run_table3
+
+        text = rows_to_csv(run_table3())
+        assert "vu9p" in text

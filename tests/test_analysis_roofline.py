@@ -1,0 +1,99 @@
+"""Tests for repro.analysis.roofline."""
+
+import pytest
+
+from repro.analysis.roofline import layer_roofline
+from repro.errors import UnsupportedLayerError
+from repro.ir import zoo
+
+
+def info_of(c, k, h, kernel):
+    net = zoo.single_conv(c, k, h, kernel, padding=kernel // 2)
+    return net.compute_layers()[0]
+
+
+class TestRooflineModel:
+    def test_winograd_raises_roof_lowers_intensity(self, cfg_vu9p_paper,
+                                                   vu9p):
+        info = info_of(256, 256, 28, 3)
+        spat = layer_roofline(cfg_vu9p_paper, vu9p, info, "spat")
+        wino = layer_roofline(cfg_vu9p_paper, vu9p, info, "wino")
+        # The hybrid trade-off in one assertion pair:
+        assert wino.peak_gops == pytest.approx(4 * spat.peak_gops)
+        assert wino.operational_intensity < spat.operational_intensity
+
+    def test_attainable_never_exceeds_roofs(self, cfg_vu9p_paper, vu9p):
+        for kernel in (1, 3, 5):
+            info = info_of(128, 128, 28, kernel)
+            for mode in ("spat", "wino"):
+                point = layer_roofline(cfg_vu9p_paper, vu9p, info, mode)
+                assert point.attainable_gops <= point.peak_gops + 1e-9
+                memory_roof = (
+                    point.bandwidth_gbs * point.operational_intensity
+                )
+                assert point.attainable_gops <= memory_roof + 1e-9
+
+    def test_compute_bound_conv(self, cfg_vu9p_paper, vu9p):
+        # Deep 3x3 conv with big feature maps: high OI -> compute bound.
+        info = info_of(256, 256, 56, 3)
+        point = layer_roofline(cfg_vu9p_paper, vu9p, info, "spat")
+        assert point.bound == "compute"
+
+    def test_fc_memory_bound(self, cfg_vu9p_paper, vu9p):
+        # FC layers: one use per weight -> OI ~ 2 ops/byte -> memory.
+        net = zoo.tiny_mlp(in_features=4096, hidden=4096)
+        info = net.compute_layers()[0]
+        point = layer_roofline(cfg_vu9p_paper, vu9p, info, "spat")
+        assert point.bound == "memory"
+        assert point.operational_intensity < 5
+
+    def test_roofline_predicts_simulator_bound(self, cfg_vu9p_paper, vu9p):
+        """Where the roofline says memory-bound, the simulator must not
+        reach the compute roof — the Figure-6 Winograd dips."""
+        import numpy as np
+
+        from repro.compiler import CompilerOptions, compile_network
+        from repro.mapping import NetworkMapping
+        from repro.runtime import HostRuntime, generate_parameters
+
+        # Small feature map, deep channels: Winograd OI (~54 ops/byte)
+        # falls below the 6-instance VU9P ridge (~60 ops/byte).
+        info_net = zoo.single_conv(512, 512, 7, 3, padding=1)
+        info = info_net.compute_layers()[0]
+        point = layer_roofline(cfg_vu9p_paper, vu9p, info, "wino")
+        assert point.bound == "memory"
+        compiled = compile_network(
+            info_net, cfg_vu9p_paper,
+            NetworkMapping.uniform(info_net, "wino", "ws"),
+            generate_parameters(info_net),
+            CompilerOptions(quantize=True, pack_data=False),
+        )
+        runtime = HostRuntime(compiled, vu9p, functional=False)
+        sim = runtime.infer(np.zeros(info_net.input_shape.as_tuple())).sim
+        achieved = info.ops / sim.seconds / 1e9
+        assert achieved < point.peak_gops * 0.8
+
+    def test_instances_share_bandwidth(self, cfg_vu9p_paper, vu9p):
+        from dataclasses import replace
+
+        info = info_of(64, 64, 28, 3)
+        six = layer_roofline(cfg_vu9p_paper, vu9p, info, "wino")
+        one = layer_roofline(
+            replace(cfg_vu9p_paper, instances=1), vu9p, info, "wino"
+        )
+        assert one.bandwidth_gbs == pytest.approx(6 * six.bandwidth_gbs)
+
+    def test_pooling_layer_rejected(self, cfg_vu9p_paper, vu9p):
+        net = zoo.tiny_cnn()
+        pool_info = next(
+            i for i in net if type(i.layer).__name__ == "MaxPool2D"
+        )
+        with pytest.raises(UnsupportedLayerError):
+            layer_roofline(cfg_vu9p_paper, vu9p, pool_info, "spat")
+
+    def test_ridge_point(self, cfg_pynq_paper, pynq):
+        info = info_of(64, 64, 28, 3)
+        point = layer_roofline(cfg_pynq_paper, pynq, info, "spat")
+        assert point.ridge_intensity == pytest.approx(
+            point.peak_gops / point.bandwidth_gbs
+        )

@@ -1,0 +1,79 @@
+"""Tests for repro.arch.buffers — ping-pong buffers and Table-1 banks."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.arch.buffers import (
+    PingPongBuffer,
+    hybrid_bank_counts,
+    input_buffer_banks,
+    output_buffer_banks,
+    weight_buffer_banks,
+)
+from repro.arch.params import AcceleratorConfig
+
+
+class TestPingPong:
+    def test_write_read(self):
+        buf = PingPongBuffer("b", capacity_vecs=10)
+        buf.write(0, data="payload", vecs=5)
+        assert buf.read(0).data == "payload"
+
+    def test_capacity_enforced(self):
+        buf = PingPongBuffer("b", capacity_vecs=10)
+        with pytest.raises(SimulationError):
+            buf.write(0, data=None, vecs=11)
+
+    def test_read_before_write(self):
+        buf = PingPongBuffer("b", capacity_vecs=10)
+        with pytest.raises(SimulationError):
+            buf.read(1)
+
+    def test_half_bounds(self):
+        buf = PingPongBuffer("b", capacity_vecs=4)
+        with pytest.raises(SimulationError):
+            buf.write(2, data=None, vecs=1)
+
+    def test_peak_tracking(self):
+        buf = PingPongBuffer("b", capacity_vecs=10)
+        buf.write(0, data=None, vecs=3)
+        buf.write(1, data=None, vecs=7)
+        assert buf.peak_vecs == 7
+
+    def test_bad_construction(self):
+        with pytest.raises(SimulationError):
+            PingPongBuffer("b", capacity_vecs=0)
+
+
+class TestTable1Banks:
+    """Bank counts must reproduce the terms of Eq. 4."""
+
+    @pytest.fixture
+    def cfg(self):
+        return AcceleratorConfig(pi=4, po=4, pt=6)
+
+    def test_input_banks(self, cfg):
+        # Wino: PI x PT x PT; Spat: PI*PT.
+        assert input_buffer_banks(cfg, "wino").banks == 4 * 36
+        assert input_buffer_banks(cfg, "spat").banks == 24
+
+    def test_weight_banks_equal_both_modes(self, cfg):
+        wino = weight_buffer_banks(cfg, "wino").banks
+        spat = weight_buffer_banks(cfg, "spat").banks
+        assert wino == spat == 4 * 4 * 36
+
+    def test_output_banks(self, cfg):
+        # Wino: PO x m x m; Spat: PO*PT.
+        assert output_buffer_banks(cfg, "wino").banks == 4 * 16
+        assert output_buffer_banks(cfg, "spat").banks == 24
+
+    def test_hybrid_takes_worst_case(self, cfg):
+        counts = hybrid_bank_counts(cfg)
+        # Exactly the Eq. 4 terms: PI*PT^2, PI*PO*PT^2, PO*m^2.
+        assert counts["input"] == cfg.pi * cfg.pt**2
+        assert counts["weight"] == cfg.pi * cfg.po * cfg.pt**2
+        assert counts["output"] == cfg.po * cfg.m**2
+
+    def test_unknown_mode(self, cfg):
+        with pytest.raises(SimulationError):
+            input_buffer_banks(cfg, "fft")

@@ -1,0 +1,90 @@
+"""Tests for repro.arch.dram — external memory model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.arch.dram import ExternalMemoryModel
+
+
+def make_dram(size=4096, bw=8.0, fixed=10):
+    return ExternalMemoryModel(
+        size=size, bandwidth_elems_per_cycle=bw, fixed_latency=fixed
+    )
+
+
+class TestAllocation:
+    def test_regions_are_disjoint_and_aligned(self):
+        dram = make_dram()
+        a = dram.allocate("a", 100, align=64)
+        b = dram.allocate("b", 50, align=64)
+        assert a.base % 64 == 0
+        assert b.base % 64 == 0
+        assert b.base >= a.end
+
+    def test_duplicate_name(self):
+        dram = make_dram()
+        dram.allocate("x", 10)
+        with pytest.raises(SimulationError):
+            dram.allocate("x", 10)
+
+    def test_exhaustion(self):
+        dram = make_dram(size=100)
+        with pytest.raises(SimulationError):
+            dram.allocate("big", 200)
+
+    def test_region_lookup(self):
+        dram = make_dram()
+        dram.allocate("w", 10)
+        assert dram.region("w").size == 10
+        with pytest.raises(SimulationError):
+            dram.region("nope")
+
+    def test_region_contains(self):
+        dram = make_dram()
+        r = dram.allocate("r", 10)
+        assert r.contains(r.base, 10)
+        assert not r.contains(r.base, 11)
+
+
+class TestDataAccess:
+    def test_write_read(self):
+        dram = make_dram()
+        dram.write(10, np.arange(5.0))
+        np.testing.assert_array_equal(dram.read(10, 5), np.arange(5.0))
+
+    def test_bounds_checked(self):
+        dram = make_dram(size=16)
+        with pytest.raises(SimulationError):
+            dram.read(10, 10)
+        with pytest.raises(SimulationError):
+            dram.write(-1, np.zeros(2))
+
+    def test_traffic_counters(self):
+        dram = make_dram()
+        dram.write(0, np.zeros(7))
+        dram.read(0, 3)
+        assert dram.total_written_elems == 7
+        assert dram.total_read_elems == 3
+
+
+class TestTiming:
+    def test_bandwidth_limited(self):
+        dram = make_dram(bw=8.0, fixed=10)
+        # 80 elements at 8/cycle: 10 cycles + 10 fixed.
+        assert dram.transfer_cycles(80, port_elems_per_cycle=1000) == 20
+
+    def test_port_limited(self):
+        dram = make_dram(bw=1000.0, fixed=0)
+        # Port narrower than DDR: Eq. 8-11's min(BW, FREQ*port).
+        assert dram.transfer_cycles(60, port_elems_per_cycle=6) == 10
+
+    def test_zero_elements(self):
+        dram = make_dram(fixed=10)
+        assert dram.transfer_cycles(0, 4) == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(SimulationError):
+            ExternalMemoryModel(size=0, bandwidth_elems_per_cycle=1)
+        with pytest.raises(SimulationError):
+            ExternalMemoryModel(size=10, bandwidth_elems_per_cycle=0)

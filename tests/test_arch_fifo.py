@@ -1,0 +1,56 @@
+"""Tests for repro.arch.fifo — handshake token FIFOs (Section 4.1)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.arch.fifo import HandshakeFifo
+
+
+class TestHandshakeFifo:
+    def test_push_pop_order(self):
+        fifo = HandshakeFifo("f", depth=3)
+        fifo.push(10.0)
+        fifo.push(20.0)
+        assert fifo.pop() == 10.0
+        assert fifo.pop() == 20.0
+
+    def test_preload_models_free_halves(self):
+        # Ping-pong buffers start with both halves free.
+        fifo = HandshakeFifo("free", depth=2, preload=2)
+        assert fifo.pop() == 0.0
+        assert fifo.pop() == 0.0
+        with pytest.raises(SimulationError):
+            fifo.pop()
+
+    def test_underflow_is_deadlock_detection(self):
+        fifo = HandshakeFifo("f")
+        with pytest.raises(SimulationError, match="underflow"):
+            fifo.pop()
+
+    def test_overflow_detects_unbalanced_flags(self):
+        fifo = HandshakeFifo("f", depth=1)
+        fifo.push(1.0)
+        with pytest.raises(SimulationError, match="overflow"):
+            fifo.push(2.0)
+
+    def test_monotonicity_enforced(self):
+        fifo = HandshakeFifo("f", depth=4)
+        fifo.push(5.0)
+        with pytest.raises(SimulationError, match="non-monotonic"):
+            fifo.push(4.0)
+
+    def test_stats(self):
+        fifo = HandshakeFifo("f", depth=4, preload=1)
+        fifo.push(1.0)
+        fifo.push(2.0)
+        fifo.pop()
+        assert fifo.pushes == 3  # preload counts as a push
+        assert fifo.pops == 1
+        assert fifo.occupancy == 2
+        assert fifo.max_occupancy == 3
+
+    def test_bad_construction(self):
+        with pytest.raises(SimulationError):
+            HandshakeFifo("f", depth=0)
+        with pytest.raises(SimulationError):
+            HandshakeFifo("f", depth=2, preload=3)

@@ -1,0 +1,137 @@
+"""Tests for repro.arch.layouts — the Figure-5 data layouts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.arch import layouts
+
+
+class TestChannelVectors:
+    def test_exact_and_ragged(self):
+        assert layouts.channel_vectors(8, 4) == 2
+        assert layouts.channel_vectors(9, 4) == 3
+        assert layouts.channel_vectors(3, 4) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            layouts.channel_vectors(0, 4)
+
+
+class TestElementIndex:
+    def test_spat_column_innermost_within_vector(self):
+        # SPAT: [row][channel-vector][column][lane].
+        base = layouts.element_index(layouts.SPAT, 0, 0, 0, 8, 4, 6, 4)
+        nxt_col = layouts.element_index(layouts.SPAT, 0, 0, 1, 8, 4, 6, 4)
+        assert nxt_col - base == 4  # one vector over
+
+    def test_wino_channel_innermost(self):
+        # WINO: [row][column][channel-vector][lane].
+        base = layouts.element_index(layouts.WINO, 0, 0, 0, 8, 4, 6, 4)
+        nxt_cv = layouts.element_index(layouts.WINO, 4, 0, 0, 8, 4, 6, 4)
+        assert nxt_cv - base == 4
+
+    def test_rows_outermost_in_both(self):
+        # Figure 5 / Sec 4.2.4: row groups are contiguous in both modes.
+        for lay in (layouts.SPAT, layouts.WINO):
+            row0_max = max(
+                layouts.element_index(lay, c, 0, x, 8, 4, 6, 4)
+                for c in range(8)
+                for x in range(6)
+            )
+            row1_min = min(
+                layouts.element_index(lay, c, 1, x, 8, 4, 6, 4)
+                for c in range(8)
+                for x in range(6)
+            )
+            assert row1_min == row0_max + 1
+
+    def test_row_base(self):
+        words_per_row = layouts.channel_vectors(8, 4) * 4 * 6
+        assert layouts.row_base(layouts.SPAT, 2, 8, 4, 6, 4) == 2 * words_per_row
+
+    def test_out_of_range(self):
+        with pytest.raises(ShapeError):
+            layouts.element_index(layouts.SPAT, 8, 0, 0, 8, 4, 6, 4)
+        with pytest.raises(ShapeError):
+            layouts.row_base(layouts.SPAT, 4, 8, 4, 6, 4)
+
+    def test_bijection_over_all_elements(self):
+        c, h, w, lanes = 5, 3, 4, 4
+        for lay in (layouts.SPAT, layouts.WINO):
+            seen = {
+                layouts.element_index(lay, ci, y, x, c, h, w, lanes)
+                for ci in range(c)
+                for y in range(h)
+                for x in range(w)
+            }
+            assert len(seen) == c * h * w  # injective
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("lay", [layouts.SPAT, layouts.WINO])
+    def test_roundtrip(self, lay, rng):
+        feature = rng.normal(size=(5, 7, 9))
+        words = layouts.pack_feature(lay, feature, lanes=4)
+        assert words.size == layouts.feature_words(5, 7, 9, 4)
+        back = layouts.unpack_feature(lay, words, 5, 7, 9, 4)
+        np.testing.assert_array_equal(back, feature)
+
+    @pytest.mark.parametrize("lay", [layouts.SPAT, layouts.WINO])
+    def test_pack_agrees_with_element_index(self, lay, rng):
+        feature = rng.normal(size=(6, 4, 5))
+        words = layouts.pack_feature(lay, feature, lanes=4)
+        for (c, y, x) in [(0, 0, 0), (5, 3, 4), (2, 1, 3), (4, 2, 0)]:
+            idx = layouts.element_index(lay, c, y, x, 6, 4, 5, 4)
+            assert words[idx] == feature[c, y, x]
+
+    def test_channel_padding_zeros(self):
+        feature = np.ones((3, 2, 2))
+        words = layouts.pack_feature(layouts.SPAT, feature, lanes=4)
+        assert words.size == 4 * 2 * 2
+        assert words.sum() == 12  # padding lane contributes zeros
+
+    def test_unpack_size_check(self):
+        with pytest.raises(ShapeError):
+            layouts.unpack_feature(layouts.SPAT, np.zeros(10), 4, 2, 2, 4)
+
+
+class TestRelayout:
+    def test_all_four_transforms(self, rng):
+        # The SAVE module supports WINO/SPAT -> WINO/SPAT (Figure 5).
+        feature = rng.normal(size=(8, 6, 6))
+        for src in (layouts.SPAT, layouts.WINO):
+            src_words = layouts.pack_feature(src, feature, 4)
+            for dst in (layouts.SPAT, layouts.WINO):
+                out = layouts.relayout(src_words, src, dst, 8, 6, 6, 4)
+                back = layouts.unpack_feature(dst, out, 8, 6, 6, 4)
+                np.testing.assert_array_equal(back, feature)
+
+    def test_same_layout_is_copy(self, rng):
+        feature = rng.normal(size=(4, 3, 3))
+        words = layouts.pack_feature(layouts.SPAT, feature, 4)
+        out = layouts.relayout(words, layouts.SPAT, layouts.SPAT, 4, 3, 3, 4)
+        np.testing.assert_array_equal(out, words)
+        assert out is not words
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    c=st.integers(1, 12),
+    h=st.integers(1, 8),
+    w=st.integers(1, 8),
+    lanes=st.sampled_from([2, 4, 8]),
+    src=st.sampled_from([layouts.SPAT, layouts.WINO]),
+    dst=st.sampled_from([layouts.SPAT, layouts.WINO]),
+    seed=st.integers(0, 2**31),
+)
+def test_relayout_preserves_feature_property(c, h, w, lanes, src, dst, seed):
+    """Property: any layout transform preserves the logical feature."""
+    rng = np.random.default_rng(seed)
+    feature = rng.normal(size=(c, h, w))
+    words = layouts.pack_feature(src, feature, lanes)
+    out = layouts.relayout(words, src, dst, c, h, w, lanes)
+    back = layouts.unpack_feature(dst, out, c, h, w, lanes)
+    np.testing.assert_array_equal(back, feature)

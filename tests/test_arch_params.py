@@ -1,0 +1,77 @@
+"""Tests for repro.arch.params — accelerator configuration."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.arch.params import SUPPORTED_PT, AcceleratorConfig
+
+
+class TestValidation:
+    def test_pt_constraint(self):
+        # Table 2: PT in {4, 6}.
+        assert SUPPORTED_PT == (4, 6)
+        with pytest.raises(ResourceError):
+            AcceleratorConfig(pt=8)
+        with pytest.raises(ResourceError):
+            AcceleratorConfig(pt=5)
+
+    def test_pi_po_ordering(self):
+        # Table 2: PI >= PO >= 1.
+        with pytest.raises(ResourceError):
+            AcceleratorConfig(pi=2, po=4)
+        AcceleratorConfig(pi=4, po=4)  # equal is fine
+
+    def test_positive_instances(self):
+        with pytest.raises(ResourceError):
+            AcceleratorConfig(instances=0)
+
+    def test_positive_buffers(self):
+        with pytest.raises(ResourceError):
+            AcceleratorConfig(input_buffer_vecs=0)
+
+    def test_positive_frequency(self):
+        with pytest.raises(ResourceError):
+            AcceleratorConfig(frequency_mhz=0)
+
+
+class TestDerived:
+    def test_m_from_pt(self):
+        # m = PT - r + 1 with r = 3.
+        assert AcceleratorConfig(pt=4).m == 2
+        assert AcceleratorConfig(pt=6).m == 4
+
+    def test_macs_per_cycle(self):
+        cfg = AcceleratorConfig(pi=4, po=4, pt=6)
+        assert cfg.macs_per_cycle == 4 * 4 * 36
+
+    def test_spatial_lanes(self):
+        cfg = AcceleratorConfig(pi=4, po=2, pt=6)
+        assert cfg.spatial_input_lanes == 24
+        assert cfg.spatial_output_lanes == 12
+
+    def test_peak_gops_spatial(self):
+        cfg = AcceleratorConfig(pi=4, po=4, pt=6, frequency_mhz=167)
+        # 2 ops x 576 MACs x 167 MHz.
+        assert cfg.peak_gops("spat") == pytest.approx(192.4, rel=0.01)
+
+    def test_peak_gops_winograd_3x3(self):
+        cfg = AcceleratorConfig(pi=4, po=4, pt=6, frequency_mhz=167)
+        # F(4x4,3x3): 4x multiplication reduction (Sec. 4.2.1).
+        assert cfg.peak_gops("wino", kernel=3) == pytest.approx(
+            4 * cfg.peak_gops("spat"), rel=1e-9
+        )
+
+    def test_peak_gops_winograd_5x5_lower_gain(self):
+        cfg = AcceleratorConfig(pi=4, po=4, pt=6)
+        gain5 = cfg.peak_gops("wino", kernel=5) / cfg.peak_gops("spat")
+        # 25/36 * 16 / 4 blocks = 2.78x, less than the 4x of 3x3.
+        assert gain5 == pytest.approx(25 * 16 / (4 * 36), rel=1e-9)
+
+    def test_default_types(self):
+        cfg = AcceleratorConfig()
+        assert cfg.feature_type.width == cfg.data_width
+        assert cfg.weight_type.width == cfg.weight_width
+
+    def test_describe(self):
+        text = AcceleratorConfig(pi=8, po=4, pt=4, instances=2).describe()
+        assert "PI=8" in text and "x2 inst" in text

@@ -1,0 +1,119 @@
+"""Tests for repro.arch.pe — the hybrid PE functional and cycle models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.arch import pe
+from repro.arch.params import AcceleratorConfig
+from repro.winograd import direct_conv2d, transform_weight
+from repro.winograd.matrices import get_algorithm
+
+
+class TestGemmCore:
+    def test_gemv(self):
+        weights = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]])
+        vec = np.array([10.0, 1.0])
+        np.testing.assert_array_equal(
+            pe.gemm_core(weights, vec), [12.0, 34.0, 56.0]
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            pe.gemm_core(np.zeros((2, 3)), np.zeros(2))
+
+
+class TestSpatialCompute:
+    def test_matches_direct_conv(self, rng):
+        strip = rng.normal(size=(6, 5, 12))
+        kernels = rng.normal(size=(7, 6, 3, 3))
+        out = pe.spatial_compute(strip, kernels, stride=1, out_rows=3)
+        ref = direct_conv2d(strip, kernels)[:, :3, :]
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_strided(self, rng):
+        strip = rng.normal(size=(4, 7, 11))
+        kernels = rng.normal(size=(3, 4, 3, 3))
+        out = pe.spatial_compute(strip, kernels, stride=2, out_rows=3)
+        ref = direct_conv2d(strip, kernels, stride=2)[:, :3, :]
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_1x1_kernel(self, rng):
+        strip = rng.normal(size=(5, 1, 9))
+        kernels = rng.normal(size=(2, 5, 1, 1))
+        out = pe.spatial_compute(strip, kernels, stride=1, out_rows=1)
+        ref = direct_conv2d(strip, kernels)
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_insufficient_rows(self, rng):
+        strip = rng.normal(size=(2, 3, 8))
+        kernels = rng.normal(size=(2, 2, 3, 3))
+        with pytest.raises(ShapeError):
+            pe.spatial_compute(strip, kernels, stride=1, out_rows=2)
+
+
+class TestWinogradCompute:
+    @pytest.mark.parametrize("pt", [4, 6])
+    def test_matches_direct_conv(self, pt, rng):
+        alg = get_algorithm(pt - 2, 3)
+        strip = rng.normal(size=(6, pt, 14))
+        kernels = rng.normal(size=(5, 6, 3, 3))
+        u = transform_weight(alg, kernels)
+        partial, n_tiles = pe.winograd_compute(strip, u, pt=pt)
+        ref = direct_conv2d(strip, kernels)
+        out_w = ref.shape[2]
+        np.testing.assert_allclose(
+            partial[:, : alg.m, :out_w], ref[:, : alg.m, :], atol=1e-9
+        )
+        assert n_tiles == -(-out_w // alg.m)
+
+    def test_extra_rows_ignored(self, rng):
+        # Strips may carry decomposition overlap rows beyond PT.
+        strip = rng.normal(size=(2, 9, 10))
+        kernels = rng.normal(size=(2, 2, 3, 3))
+        alg = get_algorithm(4, 3)
+        u = transform_weight(alg, kernels)
+        a, _ = pe.winograd_compute(strip, u, pt=6)
+        b, _ = pe.winograd_compute(strip[:, :6, :], u, pt=6)
+        np.testing.assert_array_equal(a, b)
+
+    def test_too_few_rows(self, rng):
+        strip = rng.normal(size=(2, 3, 10))
+        u = np.zeros((2, 2, 6, 6))
+        with pytest.raises(ShapeError):
+            pe.winograd_compute(strip, u, pt=6)
+
+    def test_weight_shape_checked(self, rng):
+        strip = rng.normal(size=(2, 6, 10))
+        with pytest.raises(ShapeError):
+            pe.winograd_compute(strip, np.zeros((2, 3, 6, 6)), pt=6)
+
+
+class TestCycleModels:
+    @pytest.fixture
+    def cfg(self):
+        return AcceleratorConfig(pi=4, po=4, pt=6)
+
+    def test_spatial_cycles_flattened_reduction(self, cfg):
+        # C*R*S = 64*9 = 576 reduction elems over 24 lanes = 24 steps.
+        cycles = pe.spatial_cycles(cfg, k_g=24, c=64, r=3, s=3,
+                                   out_rows=1, out_w=10)
+        assert cycles == 24 * 1 * 10 + pe.PIPELINE_DEPTH
+
+    def test_spatial_cycles_output_rounding(self, cfg):
+        # 25 output channels need 2 PO*PT=24 vectors.
+        a = pe.spatial_cycles(cfg, 24, 24, 3, 3, 1, 10)
+        b = pe.spatial_cycles(cfg, 25, 24, 3, 3, 1, 10)
+        assert b > a
+
+    def test_winograd_cycles(self, cfg):
+        # ceil(C/PI) * ceil(K/PO) * tiles.
+        cycles = pe.winograd_cycles(cfg, k_g=8, c=16, n_tiles=14)
+        assert cycles == 4 * 2 * 14 + pe.PIPELINE_DEPTH
+
+    def test_more_parallelism_fewer_cycles(self):
+        small = AcceleratorConfig(pi=2, po=2, pt=4)
+        big = AcceleratorConfig(pi=8, po=8, pt=4)
+        assert pe.winograd_cycles(big, 64, 64, 10) < pe.winograd_cycles(
+            small, 64, 64, 10
+        )

@@ -1,0 +1,106 @@
+"""Tests for repro.baselines and repro.analysis."""
+
+import pytest
+
+from repro.analysis import (
+    Table,
+    dsp_efficiency,
+    energy_efficiency,
+    format_table,
+    gops,
+    relative_error,
+    speedup,
+)
+from repro.baselines import PUBLISHED, spatial_only_estimate
+from repro.baselines.published import PAPER_RESULTS, best_prior
+from repro.errors import ReproError
+from repro.ir import zoo
+
+
+class TestPublished:
+    def test_table4_rows_verbatim(self):
+        by_key = {p.key: p for p in PUBLISHED}
+        assert by_key["tgpa"].gops == 1510.0
+        assert by_key["opencl-a10"].gops == 1790.0
+        assert by_key["cloud-dnn"].gops == 1828.6
+        assert by_key["cloud-dnn"].dsps == 5349
+
+    def test_best_prior_vu9p(self):
+        # Cloud-DNN is the best published VU9P design in Table 4.
+        assert best_prior("Xilinx VU9P").key == "cloud-dnn"
+
+    def test_paper_speedup_claim(self):
+        # 3375.7 / 1828.6 = 1.85x — the paper's "1.8x" headline.
+        ours = PAPER_RESULTS["vu9p"]
+        assert ours.gops / best_prior("Xilinx VU9P").gops == pytest.approx(
+            1.85, abs=0.01
+        )
+
+    def test_efficiencies(self):
+        a10 = next(p for p in PUBLISHED if p.key == "opencl-a10")
+        assert a10.dsp_efficiency == pytest.approx(0.65, abs=0.01)
+        assert a10.energy_efficiency == pytest.approx(47.7, abs=0.1)
+        tgpa = next(p for p in PUBLISHED if p.key == "tgpa")
+        assert tgpa.energy_efficiency is None
+
+
+class TestSpatialOnly:
+    def test_slower_than_hybrid(self, cfg_vu9p_paper, vu9p):
+        from repro.dse.engine import map_network
+
+        net = zoo.vgg16(include_fc=False)
+        _, hybrid = map_network(cfg_vu9p_paper, vu9p, net)
+        mapping, spatial = spatial_only_estimate(cfg_vu9p_paper, vu9p, net)
+        assert all(m.mode == "spat" for m in mapping)
+        assert spatial.latency > hybrid.latency
+        # 3x3-dominated network: hybrid gains should approach the 4x
+        # Winograd bound but stay above 1x.
+        gain = spatial.latency / hybrid.latency
+        assert 1.5 < gain <= 4.5
+
+
+class TestMetrics:
+    def test_gops(self):
+        assert gops(2e9, 1.0) == 2.0
+        assert gops(2e9, 1.0, instances=6) == 12.0
+
+    def test_dsp_efficiency(self):
+        assert dsp_efficiency(3375.7, 5163) == pytest.approx(0.65, abs=0.01)
+
+    def test_energy_efficiency(self):
+        assert energy_efficiency(3375.7, 45.9) == pytest.approx(73.5, abs=0.1)
+
+    def test_speedup(self):
+        assert speedup(3375.7, 1828.6) == pytest.approx(1.85, abs=0.01)
+
+    def test_relative_error(self):
+        assert relative_error(104.27, 100.0) == pytest.approx(0.0427)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            gops(1, 0)
+        with pytest.raises(ReproError):
+            dsp_efficiency(1.0, 0)
+        with pytest.raises(ReproError):
+            speedup(1.0, 0)
+
+
+class TestReport:
+    def test_table_renders_aligned(self):
+        table = Table("T", ["a", "bb"])
+        table.add_row(1, 2.5)
+        table.add_row("xxx", 10000.0)
+        table.add_note("note")
+        text = table.render()
+        assert "T\n=" in text
+        assert "* note" in text
+        assert "10,000.0" in text
+
+    def test_row_width_checked(self):
+        table = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_format_table_plain(self):
+        text = format_table("X", ["h"], [["v"]])
+        assert "X" in text and "v" in text

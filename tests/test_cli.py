@@ -1,0 +1,97 @@
+"""Tests for repro.cli — the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dse_defaults(self):
+        args = build_parser().parse_args(["dse"])
+        assert args.device == "pynq-z1"
+        assert args.model == "vgg16"
+        assert args.objective == "throughput"
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "vu9p" in out and "pynq-z1" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg16" in out and "darknet19" in out
+
+    def test_dse_tiny(self, capsys):
+        assert main(
+            ["dse", "--model", "tiny_cnn", "--device", "pynq-z1", "-v"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "PI=" in out
+        assert "conv1" in out  # verbose per-layer mapping
+
+    def test_unknown_model_is_error(self, capsys):
+        assert main(["dse", "--model", "resnet-9000"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_device_is_error(self, capsys):
+        assert main(["dse", "--device", "virtex-2"]) == 1
+
+    def test_compile_writes_files(self, tmp_path, capsys):
+        rc = main([
+            "compile", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--exact", "-o", str(tmp_path),
+        ])
+        assert rc == 0
+        assert (tmp_path / "program.bin").exists()
+        assert (tmp_path / "program.asm").exists()
+        asm = (tmp_path / "program.asm").read_text()
+        assert "COMP" in asm
+
+    def test_compile_output_loads_back(self, tmp_path):
+        from repro.isa import Program
+
+        main([
+            "compile", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "-o", str(tmp_path),
+        ])
+        program = Program.load(tmp_path / "program.bin")
+        assert len(program) > 0
+
+    def test_simulate(self, capsys):
+        rc = main(["simulate", "--model", "tiny_cnn",
+                   "--device", "pynq-z1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "GOPS" in out
+        assert "COMP" in out
+
+    def test_emit_hls(self, tmp_path, capsys):
+        rc = main([
+            "emit-hls", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "-o", str(tmp_path),
+        ])
+        assert rc == 0
+        assert (tmp_path / "hybriddnn_top.cpp").exists()
+        assert (tmp_path / "hybriddnn_config.h").exists()
+
+    def test_experiments_unknown(self, capsys):
+        assert main(["experiments", "tableX"]) == 2
+
+    def test_experiments_table3(self, capsys):
+        assert main(["experiments", "table3"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+    def test_model_from_json(self, tmp_path, capsys):
+        from repro.ir import save_network, zoo
+
+        path = tmp_path / "model.json"
+        save_network(zoo.tiny_cnn(), path)
+        assert main(["dse", "--model", str(path),
+                     "--device", "pynq-z1"]) == 0

@@ -1,0 +1,107 @@
+"""Tests for repro.dse — the 3-step design space exploration."""
+
+import pytest
+
+from repro.dse import explore_hardware, map_network, run_dse
+from repro.dse.space import DseOptions, default_buffers
+from repro.errors import DseError
+from repro.fpga import get_device
+from repro.ir import zoo
+
+
+class TestStep1Explore:
+    def test_all_candidates_fit(self, vu9p):
+        for cand in explore_hardware(vu9p):
+            assert cand.total.fits_in(vu9p.resources)
+            assert cand.cfg.pi >= cand.cfg.po  # Table-2 constraint
+            assert cand.cfg.pt in (4, 6)
+
+    def test_pynq_space_smaller_than_vu9p(self, pynq, vu9p):
+        assert len(explore_hardware(pynq)) < len(explore_hardware(vu9p))
+
+    def test_max_instances_option(self, vu9p):
+        capped = explore_hardware(vu9p, DseOptions(max_instances=2))
+        assert all(c.cfg.instances <= 2 for c in capped)
+
+    def test_buffer_presets(self, vu9p, pynq):
+        assert default_buffers(vu9p)[0] > default_buffers(pynq)[0]
+
+    def test_paper_configs_in_space(self, vu9p, pynq):
+        vu_space = {
+            (c.cfg.pi, c.cfg.po, c.cfg.pt, c.cfg.instances)
+            for c in explore_hardware(vu9p)
+        }
+        assert (4, 4, 6, 6) in vu_space
+        pynq_space = {
+            (c.cfg.pi, c.cfg.po, c.cfg.pt, c.cfg.instances)
+            for c in explore_hardware(pynq)
+        }
+        assert (4, 4, 4, 1) in pynq_space
+
+
+class TestStep2Mapping:
+    def test_vgg16_all_conv_wino_on_vu9p(self, cfg_vu9p_paper, vu9p):
+        # Section 6.1: "the DSE selects all CONV layers of VGG16 to be
+        # implemented in Winograd mode".
+        net = zoo.vgg16()
+        mapping, estimate = map_network(cfg_vu9p_paper, vu9p, net)
+        conv_names = {i.layer.name for i in net.conv_layers()}
+        for m in mapping:
+            if m.layer_name in conv_names:
+                assert m.mode == "wino", m.layer_name
+
+    def test_fc_layers_spatial(self, cfg_vu9p_paper, vu9p):
+        net = zoo.vgg16()
+        mapping, _ = map_network(cfg_vu9p_paper, vu9p, net)
+        for name in ("fc6", "fc7", "fc8"):
+            assert mapping.for_layer(name).mode == "spat"
+
+    def test_strided_layer_forced_spatial(self, cfg_vu9p_paper, vu9p):
+        net = zoo.alexnet()
+        mapping, _ = map_network(cfg_vu9p_paper, vu9p, net)
+        assert mapping.for_layer("conv1").mode == "spat"
+
+    def test_estimate_validates(self, cfg_pynq_paper, pynq):
+        net = zoo.tiny_cnn()
+        mapping, estimate = map_network(cfg_pynq_paper, pynq, net)
+        mapping.validate_against(net)
+        assert estimate.latency > 0
+
+
+class TestStep3Selection:
+    def test_vu9p_recovers_paper_design(self, vu9p):
+        # The headline DSE check: PI=4 PO=4 PT=6, 6 instances.
+        result = run_dse(vu9p, zoo.vgg16(), DseOptions(frequency_mhz=167))
+        assert (result.cfg.pi, result.cfg.po, result.cfg.pt) == (4, 4, 6)
+        assert result.cfg.instances == 6
+
+    def test_pynq_recovers_paper_design(self, pynq):
+        result = run_dse(pynq, zoo.vgg16(), DseOptions(frequency_mhz=100))
+        assert (result.cfg.pi, result.cfg.po, result.cfg.pt) == (4, 4, 4)
+        assert result.cfg.instances == 1
+
+    def test_latency_objective_prefers_single_instance(self, vu9p):
+        result = run_dse(
+            vu9p, zoo.tiny_cnn(input_size=32),
+            DseOptions(objective="latency"),
+        )
+        # Batch instances don't reduce single-image latency but do share
+        # bandwidth, so latency mode picks NI=1.
+        assert result.cfg.instances == 1
+
+    def test_runners_up_sorted(self, pynq):
+        result = run_dse(pynq, zoo.tiny_cnn(input_size=32), DseOptions(top_k=4))
+        gops = [result.throughput_gops] + [
+            r.throughput_gops for r in result.runners_up
+        ]
+        assert gops == sorted(gops, reverse=True)
+
+    def test_summary_renders(self, pynq):
+        result = run_dse(pynq, zoo.tiny_cnn(input_size=32))
+        text = result.summary()
+        assert "pynq-z1" in text
+        assert "GOPS" in text
+
+    def test_bad_objective(self, pynq):
+        with pytest.raises(DseError):
+            run_dse(pynq, zoo.tiny_cnn(), DseOptions(objective="area"))

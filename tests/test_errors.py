@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ShapeError,
+    errors.GraphError,
+    errors.UnsupportedLayerError,
+    errors.DeviceError,
+    errors.ResourceError,
+    errors.EncodingError,
+    errors.CompileError,
+    errors.SimulationError,
+    errors.DseError,
+    errors.RuntimeHostError,
+]
+
+
+@pytest.mark.parametrize("cls", ALL_ERRORS)
+def test_all_derive_from_repro_error(cls):
+    assert issubclass(cls, errors.ReproError)
+    assert issubclass(cls, Exception)
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.CompileError("x")
+
+
+def test_distinct_subsystem_errors():
+    # Catching one subsystem's errors must not swallow another's.
+    with pytest.raises(errors.EncodingError):
+        try:
+            raise errors.EncodingError("bits")
+        except errors.SimulationError:  # pragma: no cover
+            pytest.fail("wrong handler caught the error")

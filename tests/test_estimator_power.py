@@ -1,0 +1,59 @@
+"""Tests for repro.estimator.power — board power model."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.estimator import estimate_power, estimate_resources
+from repro.estimator.power import PowerEstimate
+from repro.fpga.resources import ResourceBudget
+
+
+class TestCalibration:
+    def test_vu9p_matches_table4_power(self, vu9p):
+        # Paper Table 4: 45.9 W for the six-instance VGG16 design.
+        paper = ResourceBudget(706_353, 5_163, 3_169)
+        power = estimate_power(paper, vu9p)
+        assert power.total_w == pytest.approx(45.9, abs=0.2)
+
+    def test_pynq_matches_table4_power(self, pynq):
+        # Paper Table 4: 2.6 W.
+        paper = ResourceBudget(37_034, 220, 277)
+        power = estimate_power(paper, pynq)
+        assert power.total_w == pytest.approx(2.6, abs=0.05)
+
+    def test_our_designs_in_band(self, cfg_vu9p_paper, vu9p,
+                                 cfg_pynq_paper, pynq):
+        v = estimate_power(estimate_resources(cfg_vu9p_paper, vu9p), vu9p)
+        p = estimate_power(estimate_resources(cfg_pynq_paper, pynq), pynq)
+        assert v.total_w == pytest.approx(45.9, rel=0.02)
+        assert p.total_w == pytest.approx(2.6, rel=0.02)
+
+
+class TestModelBehaviour:
+    def test_breakdown_sums(self, pynq):
+        power = estimate_power(ResourceBudget(1000, 10, 10), pynq)
+        assert power.total_w == pytest.approx(
+            power.static_w + power.dsp_w + power.bram_w + power.lut_w
+        )
+
+    def test_monotone_in_resources(self, vu9p):
+        small = estimate_power(ResourceBudget(1000, 100, 100), vu9p)
+        large = estimate_power(ResourceBudget(2000, 200, 200), vu9p)
+        assert large.total_w > small.total_w
+        assert large.static_w == small.static_w
+
+    def test_over_capacity_rejected(self, pynq):
+        with pytest.raises(DeviceError):
+            estimate_power(ResourceBudget(10**6, 10**4, 10**4), pynq)
+
+    def test_unknown_device_uses_default_static(self):
+        from repro.fpga import get_device
+        from repro.estimator.power import DEFAULT_STATIC_W
+
+        # ku115 has an entry; fabricate by checking a catalogued device
+        # with default: use zcu102 (has entry) vs expected values.
+        dev = get_device("zcu102")
+        power = estimate_power(ResourceBudget(0, 0, 0), dev)
+        assert power.total_w > 0
+        assert isinstance(power, PowerEstimate)
+        assert DEFAULT_STATIC_W > 0

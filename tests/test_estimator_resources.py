@@ -1,0 +1,102 @@
+"""Tests for repro.estimator.resources — Eq. 3-5 and Table 3."""
+
+import pytest
+
+from repro.estimator import (
+    estimate_resources,
+    hybrid_lut_overhead,
+    spatial_only_resources,
+)
+from repro.estimator.calibration import get_calibration
+from repro.estimator.resources import (
+    bram_count,
+    dsp_count,
+    instances_per_die,
+    lut_count,
+)
+
+
+class TestTable3Reproduction:
+    """The headline resource numbers of Table 3."""
+
+    def test_vu9p_matches_paper(self, cfg_vu9p_paper, vu9p):
+        res = estimate_resources(cfg_vu9p_paper, vu9p)
+        # Paper: 706353 LUTs / 5163 DSPs / 3169 BRAMs (within 0.2%).
+        assert res.luts == pytest.approx(706_353, rel=0.002)
+        assert res.dsps == pytest.approx(5_163, rel=0.002)
+        assert res.brams == pytest.approx(3_169, rel=0.002)
+
+    def test_pynq_matches_paper(self, cfg_pynq_paper, pynq):
+        res = estimate_resources(cfg_pynq_paper, pynq)
+        # Paper: 37034 LUTs / 220 DSPs (100%) / 277 BRAMs.
+        assert res.luts == pytest.approx(37_034, rel=0.002)
+        assert res.dsps == 220
+        assert res.brams == 277
+
+    def test_fits_devices(self, cfg_vu9p_paper, vu9p, cfg_pynq_paper, pynq):
+        assert estimate_resources(cfg_vu9p_paper, vu9p).fits_in(vu9p.resources)
+        assert estimate_resources(cfg_pynq_paper, pynq).fits_in(pynq.resources)
+
+    def test_two_instances_per_vu9p_die(self, cfg_vu9p_paper, vu9p):
+        # Section 6.1: two instances fit one die; six across three dies.
+        assert instances_per_die(cfg_vu9p_paper, vu9p) == 2
+
+
+class TestEq3Dsp:
+    def test_scales_with_pe_array(self, cfg_pt4, cfg_pt6, pynq):
+        cal = get_calibration("generic")
+        assert dsp_count(cfg_pt6, cal) > dsp_count(cfg_pt4, cal)
+
+    def test_dsp_packing_halves_pe_term(self, cfg_pt4):
+        unpacked = get_calibration("generic")
+        packed = get_calibration("pynq-z1")
+        pe_full = cfg_pt4.pi * cfg_pt4.po * cfg_pt4.pt**2
+        delta = dsp_count(cfg_pt4, unpacked) - dsp_count(cfg_pt4, packed)
+        assert delta == pe_full // 2
+
+    def test_per_instance_flag(self, cfg_vu9p_paper, vu9p):
+        one = estimate_resources(cfg_vu9p_paper, vu9p, per_instance=True)
+        total = estimate_resources(cfg_vu9p_paper, vu9p)
+        assert total.dsps == one.dsps * 6
+
+
+class TestEq5LutOverhead:
+    def test_vu9p_overhead_26_4_percent(self, cfg_vu9p_paper, vu9p):
+        # Section 6.1: hybrid support costs 26.4% extra LUTs on VU9P.
+        assert hybrid_lut_overhead(cfg_vu9p_paper, vu9p) == pytest.approx(
+            0.264, abs=0.002
+        )
+
+    def test_zero_dsp_overhead(self, cfg_vu9p_paper, vu9p):
+        hybrid = estimate_resources(cfg_vu9p_paper, vu9p)
+        spatial = spatial_only_resources(cfg_vu9p_paper, vu9p)
+        assert hybrid.dsps == spatial.dsps
+        assert hybrid.brams == spatial.brams
+        assert hybrid.luts > spatial.luts
+
+    def test_overhead_scales_with_m(self, cfg_pt4, cfg_pt6, vu9p):
+        cal = get_calibration("vu9p")
+        over4 = lut_count(cfg_pt4, cal) / lut_count(cfg_pt4, cal, hybrid=False)
+        over6 = lut_count(cfg_pt6, cal) / lut_count(cfg_pt6, cal, hybrid=False)
+        # delta * m^2: m=4 costs 4x the m=2 overhead (up to the integer
+        # rounding of the LUT counts).
+        assert (over6 - 1) == pytest.approx(4 * (over4 - 1), rel=0.01)
+
+
+class TestEq4Bram:
+    def test_counts_table1_banks(self, cfg_pt6):
+        cal = get_calibration("generic")
+        count = bram_count(cfg_pt6, cal, bram_width_bits=18)
+        banks = (
+            cfg_pt6.pi * cfg_pt6.pt**2
+            + cfg_pt6.pi * cfg_pt6.po * cfg_pt6.pt**2
+            + cfg_pt6.po * cfg_pt6.m**2
+        )
+        assert count == round(cfg_pt6.data_width / 18 * banks)
+
+    def test_wider_data_more_brams(self, cfg_pt4):
+        from dataclasses import replace
+
+        cal = get_calibration("generic")
+        wide = replace(cfg_pt4, data_width=16)
+        assert bram_count(wide, cal) > bram_count(cfg_pt4, cal)

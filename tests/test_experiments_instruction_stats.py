@@ -1,0 +1,50 @@
+"""Tests for the instruction-stream statistics experiment."""
+
+import pytest
+
+from repro.experiments.instruction_stats import (
+    format_instruction_stats,
+    run_instruction_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def vgg_stats():
+    return run_instruction_stats("vgg16", "vu9p")
+
+
+class TestInstructionStats:
+    def test_all_compute_layers_present(self, vgg_stats):
+        names = {layer.layer_name for layer in vgg_stats.layers}
+        assert len(names) == 16  # 13 conv + 3 fc
+
+    def test_programs_validate_clean(self, vgg_stats):
+        assert vgg_stats.valid
+
+    def test_comp_counts_match_partitions(self, vgg_stats):
+        for layer in vgg_stats.layers:
+            assert layer.comp_instructions == (
+                layer.row_groups * layer.k_groups * layer.c_groups
+            )
+
+    def test_opcode_mix_consistent(self, vgg_stats):
+        assert sum(vgg_stats.by_opcode.values()) == (
+            vgg_stats.total_instructions
+        )
+        assert vgg_stats.by_opcode["COMP"] > 0
+        assert vgg_stats.by_opcode["SAVE"] <= vgg_stats.by_opcode["COMP"]
+
+    def test_bytes_are_16_per_instruction(self, vgg_stats):
+        assert vgg_stats.bytes == 16 * vgg_stats.total_instructions
+
+    def test_format(self, vgg_stats):
+        text = format_instruction_stats(vgg_stats)
+        assert "conv1_1" in text
+        assert "opcode mix" in text
+        assert "clean" in text
+
+    def test_embedded_has_more_instructions(self, vgg_stats):
+        # Smaller buffers -> more groups -> more instructions.
+        pynq = run_instruction_stats("vgg16", "pynq-z1")
+        assert pynq.total_instructions > vgg_stats.total_instructions
+        assert pynq.valid

@@ -1,0 +1,106 @@
+"""Tests for repro.fpga — device catalog and resource budgets."""
+
+import pytest
+
+from repro.errors import DeviceError, ResourceError
+from repro.fpga import DEVICES, ExternalMemory, FpgaDevice, ResourceBudget, get_device
+
+
+class TestResourceBudget:
+    def test_arithmetic(self):
+        a = ResourceBudget(100, 10, 5)
+        b = ResourceBudget(50, 5, 1)
+        assert a + b == ResourceBudget(150, 15, 6)
+        assert a - b == ResourceBudget(50, 5, 4)
+        assert a * 3 == ResourceBudget(300, 30, 15)
+        assert 3 * a == a * 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceBudget(-1, 0, 0)
+        with pytest.raises(ResourceError):
+            ResourceBudget(10, 1, 1) - ResourceBudget(20, 0, 0)
+
+    def test_fits_in(self):
+        small = ResourceBudget(10, 10, 10)
+        big = ResourceBudget(20, 20, 20)
+        assert small.fits_in(big)
+        assert not big.fits_in(small)
+        assert small.fits_in(small)  # Table-2 uses strict <, we use <=
+
+    def test_utilisation(self):
+        used = ResourceBudget(50, 10, 0)
+        cap = ResourceBudget(100, 40, 10)
+        util = used.utilisation(cap)
+        assert util["luts"] == 0.5
+        assert util["dsps"] == 0.25
+        assert used.max_utilisation(cap) == 0.5
+
+
+class TestCatalog:
+    def test_paper_devices_present(self):
+        assert "vu9p" in DEVICES
+        assert "pynq-z1" in DEVICES
+
+    def test_vu9p_totals_match_table3_percentages(self):
+        # Table 3: 706353 LUTs = 59.8%, 5163 DSPs = 75.5%, 3169 BRAM = 73.4%
+        dev = get_device("vu9p")
+        assert 706_353 / dev.resources.luts == pytest.approx(0.598, abs=0.002)
+        assert 5_163 / dev.resources.dsps == pytest.approx(0.755, abs=0.002)
+        assert 3_169 / dev.resources.brams == pytest.approx(0.734, abs=0.002)
+
+    def test_pynq_totals_match_table3_percentages(self):
+        dev = get_device("pynq-z1")
+        assert 37_034 / dev.resources.luts == pytest.approx(0.6961, abs=0.001)
+        assert dev.resources.dsps == 220  # 100% utilised in Table 3
+        assert 277 / dev.resources.brams == pytest.approx(0.9893, abs=0.001)
+
+    def test_vu9p_has_three_dies(self):
+        assert get_device("vu9p").dies == 3
+
+    def test_case_insensitive_lookup(self):
+        assert get_device("VU9P") is get_device("vu9p")
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceError):
+            get_device("virtex-2")
+
+
+class TestDeviceModel:
+    def test_bandwidth_elems_scales_with_width(self):
+        dev = get_device("vu9p")
+        # 12-bit features round up to 2 bytes, 8-bit weights to 1 byte.
+        assert dev.bandwidth_elems(8) == pytest.approx(
+            2 * dev.bandwidth_elems(12)
+        )
+
+    def test_bandwidth_shared_between_instances(self):
+        dev = get_device("vu9p")
+        assert dev.bandwidth_elems(12, instances=6) == pytest.approx(
+            dev.bandwidth_elems(12) / 6
+        )
+
+    def test_resources_per_die(self):
+        dev = get_device("vu9p")
+        per_die = dev.resources_per_die()
+        assert per_die.dsps == dev.resources.dsps // 3
+
+    def test_bad_memory_rejected(self):
+        with pytest.raises(DeviceError):
+            ExternalMemory(bandwidth_gbps=0)
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(DeviceError):
+            FpgaDevice(
+                name="x", part="x",
+                resources=ResourceBudget(1, 1, 1),
+                dies=0, frequency_mhz=100,
+                memory=ExternalMemory(bandwidth_gbps=1),
+            )
+
+    def test_bandwidth_elems_validates(self):
+        dev = get_device("pynq-z1")
+        with pytest.raises(DeviceError):
+            dev.bandwidth_elems(0)
+        with pytest.raises(DeviceError):
+            dev.bandwidth_elems(8, instances=0)

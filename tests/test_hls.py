@@ -1,0 +1,108 @@
+"""Tests for repro.hls — template configuration and emission."""
+
+import pytest
+
+from repro.hls import HlsConfig, emit_config_header, emit_project, emit_top
+
+
+@pytest.fixture
+def hls_cfg(cfg_vu9p_paper, vu9p):
+    return HlsConfig.from_config(cfg_vu9p_paper, vu9p, project="vgg16_vu9p")
+
+
+class TestConfig:
+    def test_from_config(self, hls_cfg, cfg_vu9p_paper):
+        assert hls_cfg.pi == cfg_vu9p_paper.pi
+        assert hls_cfg.pt == cfg_vu9p_paper.pt
+        assert hls_cfg.m == cfg_vu9p_paper.m
+        assert hls_cfg.clock_ns == pytest.approx(1000 / 167.0)
+        assert hls_cfg.instances == 6
+
+
+class TestEmission:
+    def test_header_contains_all_parameters(self, hls_cfg):
+        header = emit_config_header(hls_cfg)
+        for macro in (
+            "HD_PI", "HD_PO", "HD_PT", "HD_M", "HD_DATA_WIDTH",
+            "HD_WEIGHT_WIDTH", "HD_INP_BUF_VECS", "HD_INSTANCES",
+        ):
+            assert macro in header
+        assert "#define HD_PT              6" in header
+        assert header.count("#ifndef") == 1
+
+    def test_top_has_four_modules_and_ctrl(self, hls_cfg):
+        top = emit_top(hls_cfg)
+        for symbol in (
+            "load_inp", "load_wgt", "comp", "save", "gemm_core",
+            "hybriddnn_top",
+        ):
+            assert symbol in top
+
+    def test_top_has_handshake_streams(self, hls_cfg):
+        top = emit_top(hls_cfg)
+        # The three producer/consumer pairs of Section 4.1, both ways.
+        for stream in (
+            "tok_inp", "tok_wgt", "tok_out",
+            "free_inp", "free_wgt", "free_out",
+        ):
+            assert stream in top
+        assert top.count("depth=2") == 6  # ping-pong depth
+
+    def test_top_has_partition_pragmas(self, hls_cfg):
+        top = emit_top(hls_cfg)
+        assert "ARRAY_PARTITION" in top
+        assert "#pragma HLS DATAFLOW" in top
+
+    def test_project_files_written(self, hls_cfg, tmp_path):
+        files = emit_project(hls_cfg, tmp_path)
+        assert set(files) == {"config", "top", "testbench", "script"}
+        for path in files.values():
+            assert path.exists()
+            assert path.read_text()
+        script = files["script"].read_text()
+        assert "csynth_design" in script
+        assert "csim_design" in script
+        assert f"{hls_cfg.clock_ns:.3f}" in script
+
+    def test_field_macros_match_isa_layouts(self, hls_cfg):
+        """The generated C accessors must use the exact bit offsets of
+        the Python encoder — one source of truth for the ISA."""
+        from repro.isa.encoding import COMP_LAYOUT
+
+        header = emit_config_header(hls_cfg)
+        for f in COMP_LAYOUT.fields:
+            hi = f.offset + f.width - 1
+            assert (
+                f"#define HD_COMP_{f.name.upper()}(w) "
+                f"((w).range({hi}, {f.offset}))" in header
+            )
+
+    def test_winograd_matrices_embedded(self, hls_cfg):
+        """B^T and A^T constants must match the algorithm exactly."""
+        import numpy as np
+
+        from repro.winograd.matrices import algorithm_for_tile
+
+        top = emit_top(hls_cfg)
+        alg = algorithm_for_tile(hls_cfg.pt)
+        first_bt_row = ", ".join(str(int(v)) for v in alg.bt[0])
+        assert first_bt_row in top
+        first_at_row = ", ".join(str(int(v)) for v in alg.at[0])
+        assert first_at_row in top
+        # Both matrices must really be integer for hardware use.
+        assert np.array_equal(alg.bt, np.round(alg.bt))
+        assert np.array_equal(alg.at, np.round(alg.at))
+
+    def test_testbench_reads_binary_programs(self, hls_cfg):
+        from repro.hls.emitter import emit_testbench
+
+        tb = emit_testbench(hls_cfg)
+        assert "fread" in tb
+        assert "program.bin" in tb
+        assert "hybriddnn_top" in tb
+
+    def test_emission_reflects_parameters(self, cfg_pt4, pynq):
+        cfg = HlsConfig.from_config(cfg_pt4, pynq, project="small")
+        header = emit_config_header(cfg)
+        assert "#define HD_PT              4" in header
+        assert "#define HD_M               2" in header

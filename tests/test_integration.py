@@ -1,0 +1,170 @@
+"""Cross-module integration tests: the whole framework pipeline from
+model + device to verified simulated inference, plus hypothesis
+properties spanning compiler + simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    AcceleratorConfig,
+    CompilerOptions,
+    HostRuntime,
+    NetworkMapping,
+    compile_network,
+    generate_parameters,
+    get_device,
+    reference_inference,
+    run_dse,
+)
+from repro.dse.space import DseOptions
+from repro.ir import NetworkBuilder, zoo
+
+
+class TestFullPipeline:
+    """parser -> DSE -> compiler -> runtime -> verified output."""
+
+    def test_dse_to_verified_inference(self, pynq):
+        net = zoo.tiny_cnn(input_size=16, channels=8)
+        result = run_dse(
+            pynq, net,
+            DseOptions(buffer_presets=(4096, 2048, 2048)),
+        )
+        params = generate_parameters(net, seed=11)
+        compiled = compile_network(
+            net, result.cfg, result.mapping, params,
+            CompilerOptions(quantize=False),
+        )
+        runtime = HostRuntime(compiled, pynq)
+        rng = np.random.default_rng(12)
+        image = rng.normal(size=net.input_shape.as_tuple())
+        out = runtime.infer(image)
+        ref = reference_inference(net, params, image)
+        np.testing.assert_allclose(out.output, ref, atol=1e-9)
+
+    def test_simulated_latency_close_to_estimate(self, pynq):
+        # The estimation-error claim on a small network.
+        from repro.dse.engine import map_network
+        from repro.estimator import estimate_network
+
+        net = zoo.tiny_cnn(input_size=32, channels=16)
+        cfg = AcceleratorConfig(
+            pi=4, po=4, pt=4, frequency_mhz=100.0,
+            input_buffer_vecs=8192, weight_buffer_vecs=4096,
+            output_buffer_vecs=4096,
+        )
+        mapping, estimate = map_network(cfg, pynq, net)
+        params = generate_parameters(net)
+        compiled = compile_network(
+            net, cfg, mapping, params, CompilerOptions(quantize=True)
+        )
+        runtime = HostRuntime(compiled, pynq, functional=False)
+        sim = runtime.infer(np.zeros(net.input_shape.as_tuple())).sim
+        error = abs(estimate.latency - sim.seconds) / sim.seconds
+        assert error < 0.25
+
+    def test_alexnet_compiles_and_runs(self, vu9p):
+        """Large kernels + strides + overlapping pools + FC stack."""
+        net = zoo.alexnet(input_size=67)  # scaled-down geometry
+        cfg = AcceleratorConfig(
+            pi=4, po=4, pt=6, frequency_mhz=167.0,
+            input_buffer_vecs=32768, weight_buffer_vecs=16384,
+            output_buffer_vecs=16384,
+        )
+        from repro.dse.engine import map_network
+
+        mapping, _ = map_network(cfg, vu9p, net)
+        assert mapping.for_layer("conv1").mode == "spat"  # stride 4
+        params = generate_parameters(net)
+        compiled = compile_network(
+            net, cfg, mapping, params,
+            CompilerOptions(quantize=True, pack_data=False),
+        )
+        runtime = HostRuntime(compiled, vu9p, functional=False)
+        sim = runtime.infer(np.zeros(net.input_shape.as_tuple())).sim
+        assert sim.cycles > 0
+
+    def test_binary_program_roundtrip_preserves_stream(self, cfg_pt4, pynq):
+        from repro.isa.program import Program
+
+        net = zoo.tiny_cnn(input_size=16)
+        params = generate_parameters(net)
+        mapping = NetworkMapping.uniform(net, "wino", "ws")
+        compiled = compile_network(net, cfg_pt4, mapping, params)
+        program = compiled.steps[0].program
+        back = Program.from_bytes(program.to_bytes())
+        assert back.instructions == program.instructions
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    channels=st.sampled_from([3, 4, 8]),
+    out_channels=st.sampled_from([4, 8, 12]),
+    size=st.sampled_from([8, 11, 16]),
+    kernel=st.sampled_from([1, 3, 5]),
+    mode=st.sampled_from(["spat", "wino"]),
+    dataflow=st.sampled_from(["is", "ws"]),
+    pt=st.sampled_from([4, 6]),
+    seed=st.integers(0, 1000),
+)
+def test_accelerator_equals_reference_property(
+    channels, out_channels, size, kernel, mode, dataflow, pt, seed
+):
+    """Property: for any single-conv geometry and any mapping, the
+    simulated accelerator reproduces the reference convolution."""
+    cfg = AcceleratorConfig(
+        pi=4, po=4, pt=pt, frequency_mhz=100.0,
+        input_buffer_vecs=4096, weight_buffer_vecs=4096,
+        output_buffer_vecs=4096,
+    )
+    device = get_device("pynq-z1")
+    net = zoo.single_conv(
+        channels, out_channels, size, kernel, padding=kernel // 2
+    )
+    params = generate_parameters(net, seed=seed)
+    mapping = NetworkMapping.uniform(net, mode, dataflow)
+    compiled = compile_network(
+        net, cfg, mapping, params, CompilerOptions(quantize=False)
+    )
+    runtime = HostRuntime(compiled, device)
+    rng = np.random.default_rng(seed)
+    image = rng.normal(size=net.input_shape.as_tuple())
+    out = runtime.infer(image)
+    ref = reference_inference(net, params, image)
+    np.testing.assert_allclose(out.output, ref, atol=1e-8)
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    depth=st.integers(1, 3),
+    width=st.sampled_from([4, 8]),
+    relu=st.booleans(),
+    pool=st.booleans(),
+    seed=st.integers(0, 1000),
+)
+def test_random_network_property(depth, width, relu, pool, seed):
+    """Property: randomly-shaped small CNNs run exactly end to end."""
+    builder = NetworkBuilder("rand", (3, 16, 16))
+    for i in range(depth):
+        builder.conv2d(width, padding=1, relu=relu, name=f"c{i}")
+    if pool:
+        builder.maxpool2d(2, name="p")
+    net = builder.build()
+    cfg = AcceleratorConfig(
+        pi=4, po=4, pt=4, frequency_mhz=100.0,
+        input_buffer_vecs=4096, weight_buffer_vecs=2048,
+        output_buffer_vecs=2048,
+    )
+    device = get_device("pynq-z1")
+    params = generate_parameters(net, seed=seed)
+    mapping = NetworkMapping.uniform(net, "wino", "ws")
+    compiled = compile_network(
+        net, cfg, mapping, params, CompilerOptions(quantize=False)
+    )
+    runtime = HostRuntime(compiled, device)
+    rng = np.random.default_rng(seed)
+    image = rng.normal(size=(3, 16, 16))
+    out = runtime.infer(image)
+    ref = reference_inference(net, params, image)
+    np.testing.assert_allclose(out.output, ref, atol=1e-8)

@@ -1,0 +1,108 @@
+"""Tests for repro.ir.graph and repro.ir.builder."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir import Network, NetworkBuilder, TensorShape
+from repro.ir.graph import validate_network
+from repro.ir.layers import Conv2D, ReLU
+
+
+def build_example():
+    return (
+        NetworkBuilder("ex", input_shape=(3, 32, 32))
+        .conv2d(16, kernel_size=3, padding=1, relu=True, name="c1")
+        .maxpool2d(2, name="p1")
+        .conv2d(32, kernel_size=3, padding=1, name="c2")
+        .relu(name="r2")
+        .flatten(name="fl")
+        .dense(10, name="fc")
+        .build()
+    )
+
+
+class TestNetwork:
+    def test_len_and_iteration(self):
+        net = build_example()
+        assert len(net) == 6
+        names = [info.layer.name for info in net]
+        assert names == ["c1", "p1", "c2", "r2", "fl", "fc"]
+
+    def test_shape_chaining(self):
+        net = build_example()
+        assert net[0].output_shape == TensorShape(16, 32, 32)
+        assert net[1].output_shape == TensorShape(16, 16, 16)
+        assert net[2].output_shape == TensorShape(32, 16, 16)
+        assert net.output_shape == TensorShape(10, 1, 1)
+
+    def test_find(self):
+        net = build_example()
+        assert net.find("c2").index == 2
+        with pytest.raises(GraphError):
+            net.find("nope")
+
+    def test_compute_layers(self):
+        net = build_example()
+        assert [i.layer.name for i in net.compute_layers()] == ["c1", "c2", "fc"]
+        assert [i.layer.name for i in net.conv_layers()] == ["c1", "c2"]
+        assert [i.layer.name for i in net.dense_layers()] == ["fc"]
+
+    def test_totals_consistent(self):
+        net = build_example()
+        assert net.total_macs == sum(i.macs for i in net)
+        assert net.total_ops == 2 * net.total_macs
+        assert net.total_weights == sum(i.weights for i in net)
+
+    def test_duplicate_names_rejected(self):
+        layers = [
+            Conv2D("same", out_channels=4, padding=1),
+            Conv2D("same", out_channels=4, padding=1),
+        ]
+        with pytest.raises(GraphError):
+            Network("dup", TensorShape(3, 8, 8), layers)
+
+    def test_shape_mismatch_rejected(self):
+        layers = [Conv2D("big", out_channels=4, kernel_size=(9, 9))]
+        with pytest.raises(GraphError):
+            Network("bad", TensorShape(3, 4, 4), layers)
+
+    def test_fused_relu_after(self):
+        net = build_example()
+        assert net.fused_relu_after(2)  # c2 followed by r2
+        assert not net.fused_relu_after(0)  # c1 followed by pool
+
+    def test_validate_network_roundtrip(self):
+        assert validate_network(build_example()) is None
+
+    def test_summary_mentions_layers(self):
+        text = build_example().summary()
+        for name in ("c1", "p1", "fc"):
+            assert name in text
+
+    def test_empty_network_output_shape(self):
+        net = Network("empty", TensorShape(3, 4, 4), [])
+        assert net.output_shape == TensorShape(3, 4, 4)
+
+
+class TestBuilder:
+    def test_auto_names_unique(self):
+        net = (
+            NetworkBuilder("n", input_shape=(3, 16, 16))
+            .conv2d(4, padding=1)
+            .conv2d(4, padding=1)
+            .build()
+        )
+        names = [info.layer.name for info in net]
+        assert len(set(names)) == 2
+
+    def test_kernel_int_expands(self):
+        net = NetworkBuilder("n", (3, 16, 16)).conv2d(4, kernel_size=5, padding=2).build()
+        assert net[0].layer.kernel_size == (5, 5)
+
+    def test_accepts_tensorshape(self):
+        net = NetworkBuilder("n", TensorShape(3, 8, 8)).relu().build()
+        assert net.input_shape == TensorShape(3, 8, 8)
+
+    def test_relu_layer_type(self):
+        net = NetworkBuilder("n", (3, 8, 8)).relu().build()
+        assert isinstance(net[0].layer, ReLU)

@@ -1,0 +1,125 @@
+"""Tests for repro.ir.layers — shape inference and cost counting."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.ir.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+)
+from repro.ir.tensor import TensorShape
+
+
+class TestConv2D:
+    def test_same_padding_shape(self):
+        conv = Conv2D("c", out_channels=64, kernel_size=(3, 3), padding=1)
+        out = conv.output_shape(TensorShape(3, 224, 224))
+        assert out == TensorShape(64, 224, 224)
+
+    def test_valid_shape(self):
+        conv = Conv2D("c", out_channels=8, kernel_size=(5, 5))
+        assert conv.output_shape(TensorShape(4, 12, 10)) == TensorShape(8, 8, 6)
+
+    def test_strided_shape(self):
+        conv = Conv2D("c", out_channels=96, kernel_size=(11, 11), stride=4)
+        out = conv.output_shape(TensorShape(3, 227, 227))
+        assert out == TensorShape(96, 55, 55)
+
+    def test_macs_formula(self):
+        # K*C*R*S*H_out*W_out, the paper's op-count convention.
+        conv = Conv2D("c", out_channels=64, kernel_size=(3, 3), padding=1)
+        shape = TensorShape(3, 224, 224)
+        assert conv.macs(shape) == 64 * 3 * 9 * 224 * 224
+        assert conv.ops(shape) == 2 * conv.macs(shape)
+
+    def test_weight_and_bias_counts(self):
+        conv = Conv2D("c", out_channels=16, kernel_size=(3, 5))
+        shape = TensorShape(8, 10, 10)
+        assert conv.weight_count(shape) == 16 * 8 * 15
+        assert conv.bias_count(shape) == 16
+
+    def test_too_small_input_raises(self):
+        conv = Conv2D("c", out_channels=4, kernel_size=(7, 7))
+        with pytest.raises(ShapeError):
+            conv.output_shape(TensorShape(1, 5, 5))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ShapeError):
+            Conv2D("c", out_channels=0)
+        with pytest.raises(ShapeError):
+            Conv2D("c", out_channels=1, stride=0)
+        with pytest.raises(ShapeError):
+            Conv2D("c", out_channels=1, padding=-1)
+        with pytest.raises(ShapeError):
+            Conv2D("c", out_channels=1, kernel_size=(0, 3))
+
+    def test_is_compute(self):
+        assert Conv2D("c", out_channels=1).is_compute
+
+
+class TestDense:
+    def test_shape(self):
+        fc = Dense("f", out_features=10)
+        assert fc.output_shape(TensorShape(64, 1, 1)) == TensorShape(10, 1, 1)
+
+    def test_requires_flat_input(self):
+        with pytest.raises(ShapeError):
+            Dense("f", out_features=10).output_shape(TensorShape(4, 2, 2))
+
+    def test_macs(self):
+        fc = Dense("f", out_features=10)
+        assert fc.macs(TensorShape(64, 1, 1)) == 640
+
+    def test_as_conv_equivalent(self):
+        fc = Dense("f", out_features=10, relu=True)
+        conv = fc.as_conv()
+        assert conv.out_channels == 10
+        assert conv.kernel_size == (1, 1)
+        assert conv.relu
+        shape = TensorShape(64, 1, 1)
+        assert conv.macs(shape) == fc.macs(shape)
+
+    def test_is_compute(self):
+        assert Dense("f", out_features=2).is_compute
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        pool = MaxPool2D("p", pool_size=2)
+        assert pool.output_shape(TensorShape(8, 16, 16)) == TensorShape(8, 8, 8)
+
+    def test_default_stride_equals_pool(self):
+        assert MaxPool2D("p", pool_size=3).stride == 3
+
+    def test_overlapping_pool_shape(self):
+        pool = MaxPool2D("p", pool_size=3, stride=2)
+        assert pool.output_shape(TensorShape(96, 55, 55)) == TensorShape(96, 27, 27)
+
+    def test_avgpool_shape(self):
+        pool = AvgPool2D("p", pool_size=2)
+        assert pool.output_shape(TensorShape(4, 6, 6)) == TensorShape(4, 3, 3)
+
+    def test_no_macs(self):
+        assert MaxPool2D("p", pool_size=2).macs(TensorShape(8, 8, 8)) == 0
+
+    def test_window_larger_than_input_raises(self):
+        with pytest.raises(ShapeError):
+            MaxPool2D("p", pool_size=4).output_shape(TensorShape(1, 2, 2))
+
+    def test_not_compute(self):
+        assert not MaxPool2D("p", pool_size=2).is_compute
+
+
+class TestSimpleLayers:
+    def test_relu_preserves_shape(self):
+        shape = TensorShape(5, 7, 9)
+        assert ReLU("r").output_shape(shape) == shape
+
+    def test_flatten(self):
+        out = Flatten("f").output_shape(TensorShape(16, 4, 4))
+        assert out == TensorShape(256, 1, 1)
+        assert out.is_flat

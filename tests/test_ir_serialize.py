@@ -1,0 +1,90 @@
+"""Tests for repro.ir.serialize — the framework's model parser."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.ir import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+    zoo,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("model", ["vgg16", "alexnet", "tiny_cnn", "tiny_mlp"])
+    def test_dict_roundtrip(self, model):
+        net = zoo.get_model(model)
+        back = network_from_dict(network_to_dict(net))
+        assert back.name == net.name
+        assert back.input_shape == net.input_shape
+        assert len(back) == len(net)
+        for a, b in zip(net, back):
+            assert type(a.layer) is type(b.layer)
+            assert a.output_shape == b.output_shape
+            assert a.macs == b.macs
+
+    def test_file_roundtrip(self, tmp_path):
+        net = zoo.tiny_cnn()
+        path = tmp_path / "net.json"
+        save_network(net, path)
+        loaded = load_network(path)
+        assert loaded.name == net.name
+        assert loaded.total_macs == net.total_macs
+
+    def test_json_is_plain(self, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(zoo.tiny_mlp(), path)
+        doc = json.loads(path.read_text())
+        assert doc["name"] == "tiny_mlp"
+        assert isinstance(doc["layers"], list)
+        assert all("type" in layer for layer in doc["layers"])
+
+
+class TestValidation:
+    def test_missing_key(self):
+        with pytest.raises(GraphError):
+            network_from_dict({"name": "x", "layers": []})
+
+    def test_unknown_layer_type(self):
+        with pytest.raises(GraphError):
+            network_from_dict(
+                {
+                    "name": "x",
+                    "input_shape": [3, 8, 8],
+                    "layers": [{"type": "transformer", "name": "t"}],
+                }
+            )
+
+    def test_unknown_field(self):
+        with pytest.raises(GraphError):
+            network_from_dict(
+                {
+                    "name": "x",
+                    "input_shape": [3, 8, 8],
+                    "layers": [
+                        {"type": "relu", "name": "r", "temperature": 1.0}
+                    ],
+                }
+            )
+
+    def test_kernel_size_list_becomes_tuple(self):
+        net = network_from_dict(
+            {
+                "name": "x",
+                "input_shape": [3, 8, 8],
+                "layers": [
+                    {
+                        "type": "conv2d",
+                        "name": "c",
+                        "out_channels": 4,
+                        "kernel_size": [3, 3],
+                        "padding": 1,
+                    }
+                ],
+            }
+        )
+        assert net[0].layer.kernel_size == (3, 3)

@@ -1,0 +1,95 @@
+"""Tests for repro.ir.tensor — shapes and fixed-point types."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ir.tensor import ACCUM_T, FEATURE_T, WEIGHT_T, DataType, TensorShape
+
+
+class TestTensorShape:
+    def test_basic_properties(self):
+        shape = TensorShape(64, 56, 48)
+        assert shape.channels == 64
+        assert shape.size == 64 * 56 * 48
+        assert shape.as_tuple() == (64, 56, 48)
+        assert not shape.is_flat
+
+    def test_flat_shape(self):
+        assert TensorShape(4096, 1, 1).is_flat
+
+    def test_str(self):
+        assert str(TensorShape(3, 224, 224)) == "3x224x224"
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, -1, 1), (1, 1, 0)])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(ShapeError):
+            TensorShape(*bad)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ShapeError):
+            TensorShape(3.5, 2, 2)
+
+    def test_equality_and_hash(self):
+        assert TensorShape(1, 2, 3) == TensorShape(1, 2, 3)
+        assert hash(TensorShape(1, 2, 3)) == hash(TensorShape(1, 2, 3))
+        assert TensorShape(1, 2, 3) != TensorShape(3, 2, 1)
+
+
+class TestDataType:
+    def test_scale(self):
+        assert DataType(8, frac=4).scale == 2.0 ** -4
+
+    def test_signed_range(self):
+        t = DataType(8, frac=0)
+        assert t.min_value == -128
+        assert t.max_value == 127
+
+    def test_unsigned_range(self):
+        t = DataType(8, frac=0, signed=False)
+        assert t.min_value == 0
+        assert t.max_value == 255
+
+    def test_quantize_rounds_to_grid(self):
+        t = DataType(8, frac=4)
+        got = t.quantize([0.1, -0.1, 1.03125])
+        assert np.allclose(got * 16, np.round(got * 16))
+
+    def test_quantize_saturates(self):
+        t = DataType(8, frac=0)
+        got = t.quantize([1e6, -1e6])
+        assert got[0] == 127
+        assert got[1] == -128
+
+    def test_quantize_idempotent(self):
+        t = DataType(12, frac=6)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100)
+        once = t.quantize(x)
+        assert np.array_equal(once, t.quantize(once))
+
+    def test_exactly_representable_values_unchanged(self):
+        t = DataType(12, frac=6)
+        values = np.array([0.0, 1.0, -1.0, 0.5, 0.015625])
+        assert np.array_equal(t.quantize(values), values)
+
+    @pytest.mark.parametrize("width", [0, -1, 65])
+    def test_rejects_bad_width(self, width):
+        with pytest.raises(ShapeError):
+            DataType(width)
+
+    def test_rejects_bad_frac(self):
+        with pytest.raises(ShapeError):
+            DataType(8, frac=8)
+        with pytest.raises(ShapeError):
+            DataType(8, frac=-1)
+
+    def test_paper_types(self):
+        # Table 4 footnote: 8-bit weights, 12-bit features.
+        assert FEATURE_T.width == 12
+        assert WEIGHT_T.width == 8
+        assert ACCUM_T.width == 32
+
+    def test_str(self):
+        assert str(DataType(12, frac=6)) == "s12.6"
+        assert str(DataType(8, frac=0, signed=False)) == "u8.0"

@@ -1,0 +1,105 @@
+"""Tests for repro.ir.transforms — batch-norm folding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.ir.transforms import fold_batchnorm, fold_batchnorm_params
+from repro.winograd.reference import direct_conv2d
+
+
+def bn_apply(x, gamma, beta, mean, var, eps=1e-5):
+    scale = gamma / np.sqrt(var + eps)
+    return x * scale[:, None, None] + (beta - mean * scale)[:, None, None]
+
+
+class TestFoldBatchnorm:
+    def test_equivalence_on_conv(self, rng):
+        k, c = 6, 4
+        weights = rng.normal(size=(k, c, 3, 3))
+        bias = rng.normal(size=k)
+        gamma = rng.uniform(0.5, 2.0, size=k)
+        beta = rng.normal(size=k)
+        mean = rng.normal(size=k)
+        var = rng.uniform(0.1, 2.0, size=k)
+        feature = rng.normal(size=(c, 10, 10))
+
+        unfolded = bn_apply(
+            direct_conv2d(feature, weights, bias, padding=1),
+            gamma, beta, mean, var,
+        )
+        fw, fb = fold_batchnorm(weights, bias, gamma, beta, mean, var)
+        folded = direct_conv2d(feature, fw, fb, padding=1)
+        np.testing.assert_allclose(folded, unfolded, atol=1e-10)
+
+    def test_identity_bn_is_noop(self, rng):
+        k = 3
+        weights = rng.normal(size=(k, 2, 3, 3))
+        bias = rng.normal(size=k)
+        fw, fb = fold_batchnorm(
+            weights, bias,
+            gamma=np.ones(k), beta=np.zeros(k),
+            mean=np.zeros(k), var=np.ones(k), eps=0.0,
+        )
+        np.testing.assert_allclose(fw, weights)
+        np.testing.assert_allclose(fb, bias)
+
+    def test_shape_validation(self, rng):
+        weights = rng.normal(size=(4, 2, 3, 3))
+        with pytest.raises(ShapeError):
+            fold_batchnorm(
+                weights, np.zeros(3), np.ones(4), np.zeros(4),
+                np.zeros(4), np.ones(4),
+            )
+
+    def test_negative_variance_rejected(self, rng):
+        weights = rng.normal(size=(2, 2, 3, 3))
+        with pytest.raises(ShapeError):
+            fold_batchnorm(
+                weights, np.zeros(2), np.ones(2), np.zeros(2),
+                np.zeros(2), -np.ones(2),
+            )
+
+    def test_dense_weights_supported(self, rng):
+        weights = rng.normal(size=(5, 16))
+        fw, fb = fold_batchnorm(
+            weights, np.zeros(5), 2 * np.ones(5), np.zeros(5),
+            np.zeros(5), np.ones(5), eps=0.0,
+        )
+        np.testing.assert_allclose(fw, 2 * weights)
+
+
+class TestFoldParams:
+    def test_params_dict_folding(self, rng):
+        params = {
+            "conv1": {
+                "weights": rng.normal(size=(4, 2, 3, 3)),
+                "bias": rng.normal(size=4),
+            }
+        }
+        bn = {
+            "gamma": np.ones(4) * 2,
+            "beta": np.zeros(4),
+            "mean": np.zeros(4),
+            "var": np.ones(4),
+        }
+        folded = fold_batchnorm_params(params, "conv1", bn, eps=0.0)
+        assert folded is not params
+        np.testing.assert_allclose(
+            folded["conv1"]["weights"], 2 * params["conv1"]["weights"]
+        )
+        # Original untouched.
+        assert params["conv1"]["bias"].shape == (4,)
+
+    def test_missing_layer(self):
+        with pytest.raises(ShapeError):
+            fold_batchnorm_params({}, "conv1", {})
+
+    def test_missing_bias_defaults_zero(self, rng):
+        params = {"c": {"weights": rng.normal(size=(2, 2, 3, 3))}}
+        bn = {
+            "gamma": np.ones(2), "beta": np.ones(2),
+            "mean": np.zeros(2), "var": np.ones(2),
+        }
+        folded = fold_batchnorm_params(params, "c", bn, eps=0.0)
+        np.testing.assert_allclose(folded["c"]["bias"], np.ones(2))

@@ -1,0 +1,98 @@
+"""Tests for repro.ir.zoo — reference model geometry."""
+
+import pytest
+
+from repro.ir import TensorShape, zoo
+
+
+class TestVgg16:
+    def test_layer_counts(self):
+        net = zoo.vgg16()
+        assert len(net.conv_layers()) == 13
+        assert len(net.dense_layers()) == 3
+        # 5 pooling stages
+        assert len([i for i in net if type(i.layer).__name__ == "MaxPool2D"]) == 5
+
+    def test_known_macs(self):
+        # VGG16 is ~15.47 GMACs (~30.9 GOPs) at 224x224 — the standard
+        # figure the paper's Table-4 GOPS numbers are based on.
+        net = zoo.vgg16()
+        assert net.total_macs == pytest.approx(15.47e9, rel=0.01)
+
+    def test_output_is_1000_classes(self):
+        assert zoo.vgg16().output_shape == TensorShape(1000, 1, 1)
+
+    def test_conv_only_variant(self):
+        net = zoo.vgg16(include_fc=False)
+        assert len(net.dense_layers()) == 0
+        assert net.output_shape == TensorShape(512, 7, 7)
+
+    def test_all_convs_are_3x3_stride1(self):
+        for info in zoo.vgg16().conv_layers():
+            assert info.layer.kernel_size == (3, 3)
+            assert info.layer.stride == 1
+            assert info.layer.padding == 1
+
+
+class TestAlexNet:
+    def test_large_kernels_present(self):
+        net = zoo.alexnet()
+        kernels = {i.layer.kernel_size for i in net.conv_layers()}
+        assert (11, 11) in kernels
+        assert (5, 5) in kernels
+
+    def test_first_conv_strided(self):
+        net = zoo.alexnet()
+        assert net.conv_layers()[0].layer.stride == 4
+
+    def test_output_classes(self):
+        assert zoo.alexnet().output_shape == TensorShape(1000, 1, 1)
+
+
+class TestDarknet19:
+    def test_structure(self):
+        net = zoo.darknet19()
+        convs = net.conv_layers()
+        assert len(convs) == 19
+        kernels = [i.layer.kernel_size for i in convs]
+        assert (1, 1) in kernels and (3, 3) in kernels
+        # Known op count: ~5.58 GOPs (2.79 GMACs) at 224x224.
+        assert net.total_macs == pytest.approx(2.79e9, rel=0.02)
+
+    def test_all_stride_1(self):
+        for info in zoo.darknet19().conv_layers():
+            assert info.layer.stride == 1
+
+    def test_classifier_head(self):
+        net = zoo.darknet19(classes=100)
+        assert net.output_shape == TensorShape(100, 1, 1)
+
+
+class TestSmallModels:
+    def test_tiny_cnn_shapes(self):
+        net = zoo.tiny_cnn(input_size=16, channels=8)
+        assert net.input_shape == TensorShape(3, 16, 16)
+        assert net.output_shape == TensorShape(16, 8, 8)
+
+    def test_tiny_mlp(self):
+        net = zoo.tiny_mlp(in_features=64, hidden=32, classes=10)
+        assert net.output_shape == TensorShape(10, 1, 1)
+
+    def test_single_conv(self):
+        net = zoo.single_conv(8, 16, 14, 3, padding=1)
+        assert len(net) == 1
+        assert net.output_shape == TensorShape(16, 14, 14)
+
+
+class TestRegistry:
+    def test_get_model(self):
+        assert zoo.get_model("tiny_mlp").name == "tiny_mlp"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            zoo.get_model("resnet-9000")
+
+    def test_all_registered_models_build(self):
+        for name in zoo.MODELS:
+            net = zoo.get_model(name)
+            assert len(net) > 0

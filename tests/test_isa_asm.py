@@ -1,0 +1,76 @@
+"""Tests for repro.isa.asm — the textual assembler/disassembler."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import Comp, DeptFlag, LoadInp, Program, Save, assemble, disassemble
+from repro.isa.asm import assemble_line, disassemble_instruction
+
+
+class TestDisassemble:
+    def test_single_instruction(self):
+        text = disassemble_instruction(
+            Comp(dept_flag=DeptFlag.WAIT_INP | DeptFlag.EMIT, ic_number=16)
+        )
+        assert text.startswith("COMP")
+        assert "dept=WAIT_INP|EMIT" in text
+        assert "ic_number=16" in text
+
+    def test_defaults_omitted(self):
+        text = disassemble_instruction(LoadInp())
+        assert "size_chan" not in text  # default value 1 is omitted
+        assert "dept=NONE" in text
+
+    def test_program_listing_has_layer_comments(self):
+        program = Program()
+        program.append(LoadInp())
+        program.mark_layer("convX", 0, mode="wino", dataflow="ws")
+        listing = disassemble(program)
+        assert "# layer convX mode=wino dataflow=ws" in listing
+
+
+class TestAssemble:
+    def test_roundtrip(self):
+        program = Program(
+            instructions=[
+                LoadInp(
+                    dept_flag=DeptFlag.WAIT_FREE | DeptFlag.EMIT,
+                    buff_id=1, size_chan=8, size_rows=6, size_cols=56,
+                    wino_flag=1,
+                ),
+                Comp(
+                    dept_flag=DeptFlag.WAIT_INP | DeptFlag.WAIT_WGT,
+                    ic_number=2, oc_number=2, iw_number=56,
+                ),
+                Save(pool_size=2, dst_wino_flag=1),
+            ]
+        )
+        back = assemble(disassemble(program))
+        assert back.instructions == program.instructions
+
+    def test_comments_and_blanks_ignored(self):
+        program = assemble(
+            "# a comment\n\n; another\nCOMP buff=0 dept=NONE ic_number=4\n"
+        )
+        assert len(program) == 1
+        assert program[0].ic_number == 4
+
+    def test_unknown_opcode(self):
+        with pytest.raises(EncodingError):
+            assemble_line("HALT")
+
+    def test_malformed_operand(self):
+        with pytest.raises(EncodingError):
+            assemble_line("COMP ic_number")
+
+    def test_unknown_operand(self):
+        with pytest.raises(EncodingError):
+            assemble_line("COMP warp_factor=9")
+
+    def test_unknown_dept_flag(self):
+        with pytest.raises(EncodingError):
+            assemble_line("COMP dept=BOGUS")
+
+    def test_dept_parse_combinations(self):
+        inst = assemble_line("COMP dept=WAIT_INP|FREE_WGT")
+        assert inst.dept_flag == DeptFlag.WAIT_INP | DeptFlag.FREE_WGT

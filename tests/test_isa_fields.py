@@ -1,0 +1,96 @@
+"""Tests for repro.isa.fields — the bit-layout machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa.fields import WORD_BITS, BitLayout
+
+
+def make_layout():
+    return BitLayout("T", [("a", 4), ("b", 8), ("c", 16)])
+
+
+class TestBitLayout:
+    def test_offsets_lsb_first(self):
+        layout = make_layout()
+        assert layout.field("a").offset == 0
+        assert layout.field("b").offset == 4
+        assert layout.field("c").offset == 12
+        assert layout.used_bits == 28
+
+    def test_pack_unpack_roundtrip(self):
+        layout = make_layout()
+        values = {"a": 5, "b": 200, "c": 40000}
+        assert layout.unpack(layout.pack(values)) == values
+
+    def test_pack_places_bits(self):
+        layout = make_layout()
+        word = layout.pack({"a": 0xF, "b": 0, "c": 0})
+        assert word == 0xF
+
+    def test_overflow_rejected(self):
+        layout = make_layout()
+        with pytest.raises(EncodingError):
+            layout.pack({"a": 16, "b": 0, "c": 0})
+
+    def test_negative_rejected(self):
+        layout = make_layout()
+        with pytest.raises(EncodingError):
+            layout.pack({"a": -1, "b": 0, "c": 0})
+
+    def test_missing_field_rejected(self):
+        layout = make_layout()
+        with pytest.raises(EncodingError):
+            layout.pack({"a": 1, "b": 2})
+
+    def test_extra_field_rejected(self):
+        layout = make_layout()
+        with pytest.raises(EncodingError):
+            layout.pack({"a": 1, "b": 2, "c": 3, "d": 4})
+
+    def test_reserved_bits_must_be_zero(self):
+        layout = make_layout()
+        with pytest.raises(EncodingError):
+            layout.unpack(1 << 100)
+
+    def test_word_range_checked(self):
+        layout = make_layout()
+        with pytest.raises(EncodingError):
+            layout.unpack(1 << WORD_BITS)
+        with pytest.raises(EncodingError):
+            layout.unpack(-1)
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(EncodingError):
+            BitLayout("D", [("x", 4), ("x", 4)])
+
+    def test_over_128_bits_rejected(self):
+        with pytest.raises(EncodingError):
+            BitLayout("Big", [("x", 64), ("y", 64), ("z", 1)])
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(EncodingError):
+            BitLayout("Z", [("x", 0)])
+
+    def test_unknown_field_lookup(self):
+        with pytest.raises(EncodingError):
+            make_layout().field("nope")
+
+    def test_contains(self):
+        layout = make_layout()
+        assert "a" in layout
+        assert "z" not in layout
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    a=st.integers(0, 15),
+    b=st.integers(0, 255),
+    c=st.integers(0, 65535),
+)
+def test_roundtrip_property(a, b, c):
+    layout = make_layout()
+    values = {"a": a, "b": b, "c": c}
+    assert layout.unpack(layout.pack(values)) == values

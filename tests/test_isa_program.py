@@ -1,0 +1,70 @@
+"""Tests for repro.isa.program — instruction stream container."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import Comp, LoadInp, LoadWgt, Program, Save
+from repro.isa.instructions import Opcode
+
+
+def sample_program():
+    program = Program()
+    program.append(LoadInp(size_chan=4))
+    program.append(LoadWgt(size_chan=8))
+    program.append(Comp(ic_number=4, oc_number=2))
+    program.append(Save(size_chan=2))
+    program.mark_layer("conv1", 0, mode="wino", dataflow="is")
+    return program
+
+
+class TestProgram:
+    def test_container_protocol(self):
+        program = sample_program()
+        assert len(program) == 4
+        assert isinstance(program[2], Comp)
+        assert [i.opcode for i in program] == [
+            Opcode.LOAD_INP, Opcode.LOAD_WGT, Opcode.COMP, Opcode.SAVE,
+        ]
+
+    def test_markers(self):
+        program = sample_program()
+        marker = program.markers[0]
+        assert (marker.start, marker.end) == (0, 4)
+        assert marker.mode == "wino"
+        assert len(program.layer_slice("conv1")) == 4
+        with pytest.raises(KeyError):
+            program.layer_slice("conv9")
+
+    def test_count_by_opcode(self):
+        counts = sample_program().count_by_opcode()
+        assert counts[Opcode.COMP] == 1
+        assert counts[Opcode.LOAD_INP] == 1
+
+    def test_binary_roundtrip(self):
+        program = sample_program()
+        blob = program.to_bytes()
+        assert len(blob) == 16 * len(program)
+        back = Program.from_bytes(blob)
+        assert back.instructions == program.instructions
+
+    def test_binary_length_check(self):
+        with pytest.raises(EncodingError):
+            Program.from_bytes(b"\x01" * 17)
+
+    def test_file_roundtrip(self, tmp_path):
+        program = sample_program()
+        path = tmp_path / "program.bin"
+        program.save(path)
+        assert Program.load(path).instructions == program.instructions
+
+    def test_extend(self):
+        program = Program()
+        program.extend([Comp(), Comp()])
+        assert len(program) == 2
+
+    def test_second_marker_starts_after_first(self):
+        program = sample_program()
+        program.append(Comp())
+        program.mark_layer("conv2", 4, mode="spat", dataflow="ws")
+        assert program.markers[1].start == 4
+        assert program.markers[1].end == 5

@@ -1,0 +1,138 @@
+"""Tests for repro.isa.validate — the static program checker."""
+
+import pytest
+
+from repro.arch.params import AcceleratorConfig
+from repro.compiler import CompilerOptions, compile_network
+from repro.ir import zoo
+from repro.isa import (
+    Comp,
+    DeptFlag,
+    LoadInp,
+    LoadWgt,
+    Program,
+    Save,
+    validate_program,
+)
+from repro.mapping import NetworkMapping
+from repro.runtime import generate_parameters
+
+
+@pytest.fixture
+def cfg():
+    return AcceleratorConfig(
+        pi=4, po=4, pt=4, frequency_mhz=100.0,
+        input_buffer_vecs=4096, weight_buffer_vecs=2048,
+        output_buffer_vecs=2048,
+    )
+
+
+def good_group(inp_half=0, wgt_half=0, out_half=0):
+    """A minimal well-formed load/comp/save group."""
+    return [
+        LoadInp(dept_flag=DeptFlag.WAIT_FREE | DeptFlag.EMIT,
+                buff_id=inp_half),
+        LoadWgt(dept_flag=DeptFlag.WAIT_FREE | DeptFlag.EMIT,
+                buff_id=wgt_half),
+        Comp(
+            dept_flag=DeptFlag.WAIT_INP | DeptFlag.WAIT_WGT
+            | DeptFlag.EMIT | DeptFlag.FREE_INP | DeptFlag.FREE_WGT
+            | DeptFlag.WAIT_FREE,
+            accum_clear=1, accum_flush=1,
+            inp_buff_id=inp_half, wgt_buff_id=wgt_half,
+            out_buff_id=out_half,
+        ),
+        Save(dept_flag=DeptFlag.WAIT_INP | DeptFlag.FREE_INP,
+             buff_id=out_half),
+    ]
+
+
+class TestValidPrograms:
+    @pytest.mark.parametrize("mode", ["spat", "wino"])
+    @pytest.mark.parametrize("dataflow", ["is", "ws"])
+    def test_all_compiled_programs_valid(self, cfg, mode, dataflow):
+        net = zoo.tiny_cnn(input_size=16, channels=8)
+        compiled = compile_network(
+            net, cfg, NetworkMapping.uniform(net, mode, dataflow),
+            generate_parameters(net), CompilerOptions(quantize=False),
+        )
+        for step in compiled.steps:
+            report = validate_program(step.program)
+            assert report.ok, str(report)
+
+    def test_chunked_fc_program_valid(self, cfg):
+        net = zoo.tiny_mlp(in_features=40000, hidden=8)
+        compiled = compile_network(
+            net, cfg, NetworkMapping.uniform(net, "spat", "ws"),
+            generate_parameters(net),
+        )
+        for step in compiled.steps:
+            assert validate_program(step.program).ok
+
+    def test_hand_written_groups(self):
+        program = Program(
+            instructions=good_group(0, 0, 0) + good_group(1, 1, 1)
+        )
+        assert validate_program(program).ok
+
+
+class TestBrokenPrograms:
+    def test_comp_without_load_deadlocks(self):
+        program = Program(instructions=[
+            Comp(dept_flag=DeptFlag.WAIT_INP | DeptFlag.WAIT_FREE
+                 | DeptFlag.EMIT),
+            Save(dept_flag=DeptFlag.WAIT_INP | DeptFlag.FREE_INP),
+        ])
+        report = validate_program(program)
+        assert any(i.kind == "deadlock" for i in report.issues)
+
+    def test_missing_save_leaks_token(self):
+        program = Program(instructions=good_group()[:3])
+        report = validate_program(program)
+        assert any(i.kind == "leak" for i in report.issues)
+
+    def test_ping_pong_violation(self):
+        group = good_group(0, 0, 0) + good_group(0, 1, 1)
+        report = validate_program(Program(instructions=group))
+        assert any(i.kind == "ping-pong" for i in report.issues)
+
+    def test_missing_clear(self):
+        bad = good_group()
+        bad[2] = Comp(
+            dept_flag=bad[2].dept_flag, accum_clear=0, accum_flush=1
+        )
+        report = validate_program(Program(instructions=bad))
+        assert any(i.kind == "accum" for i in report.issues)
+
+    def test_open_accumulation_at_end(self):
+        bad = good_group()[:3]
+        bad[2] = Comp(
+            dept_flag=DeptFlag.WAIT_INP | DeptFlag.WAIT_WGT
+            | DeptFlag.FREE_INP | DeptFlag.FREE_WGT,
+            accum_clear=1, accum_flush=0,
+        )
+        report = validate_program(Program(instructions=bad))
+        assert any(
+            i.kind == "accum" and i.index == -1 for i in report.issues
+        )
+
+    def test_fifo_overflow_detected(self):
+        program = Program(instructions=[
+            LoadInp(dept_flag=DeptFlag.EMIT, buff_id=0),
+            LoadInp(dept_flag=DeptFlag.EMIT, buff_id=1),
+            LoadInp(dept_flag=DeptFlag.EMIT, buff_id=0),
+        ])
+        report = validate_program(program)
+        assert any(i.kind == "overflow" for i in report.issues)
+
+    def test_save_without_wait_flagged(self):
+        bad = good_group()
+        bad[3] = Save(dept_flag=DeptFlag.FREE_INP, buff_id=0)
+        report = validate_program(Program(instructions=bad))
+        assert any(i.kind == "handshake" for i in report.issues)
+
+    def test_report_renders(self):
+        program = Program(instructions=[Comp(dept_flag=DeptFlag.WAIT_INP)])
+        report = validate_program(program)
+        assert not report.ok
+        assert "deadlock" in str(report)

@@ -1,0 +1,192 @@
+"""Tests for repro.mapping.partition — the Section-4.2.4 partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import AcceleratorConfig
+from repro.errors import ResourceError, UnsupportedLayerError
+from repro.ir import zoo
+from repro.mapping.partition import (
+    c_groups,
+    fused_pool_for,
+    k_groups,
+    partition_layer,
+    row_groups,
+)
+
+
+def single_conv_info(c, k, h, kernel, stride=1, padding=0):
+    net = zoo.single_conv(c, k, h, kernel, stride=stride, padding=padding)
+    return net.compute_layers()[0]
+
+
+@pytest.fixture
+def cfg():
+    return AcceleratorConfig(
+        pi=4, po=4, pt=6, instances=1,
+        input_buffer_vecs=8192, weight_buffer_vecs=4096,
+        output_buffer_vecs=4096,
+    )
+
+
+class TestRowGroups:
+    def test_spatial_one_row_per_group(self, cfg):
+        info = single_conv_info(16, 16, 28, 3, padding=1)
+        part = partition_layer(cfg, info, "spat")
+        # Section 4.2.4: H groups in Spatial mode.
+        assert part.rows_per_group == 1
+        assert part.n_row_groups == 28
+        assert part.strip_rows == 3
+
+    def test_winograd_m_rows_per_group(self, cfg):
+        info = single_conv_info(16, 16, 28, 3, padding=1)
+        part = partition_layer(cfg, info, "wino")
+        # Section 4.2.4: H/m groups in Winograd mode.
+        assert part.rows_per_group == cfg.m
+        assert part.n_row_groups == 7
+        assert part.strip_rows == cfg.pt
+
+    def test_partial_last_group(self, cfg):
+        info = single_conv_info(8, 8, 14, 3, padding=1)
+        part = partition_layer(cfg, info, "wino")
+        groups = row_groups(part)
+        assert sum(rows for _, rows in groups) == 14
+        assert groups[-1][1] == 2  # 14 = 3*4 + 2
+
+    def test_decomposed_kernel_extends_strip(self, cfg):
+        info = single_conv_info(8, 8, 20, 5, padding=2)
+        part = partition_layer(cfg, info, "wino")
+        assert len(part.blocks) == 4
+        assert part.strip_rows == cfg.pt + 3  # max block row offset
+
+    def test_strided_spatial_strip(self, cfg):
+        info = single_conv_info(8, 8, 23, 3, stride=2)
+        part = partition_layer(cfg, info, "spat")
+        assert part.strip_rows == 3
+        assert part.out_h == 11
+
+    def test_wino_stride_rejected(self, cfg):
+        info = single_conv_info(8, 8, 23, 3, stride=2)
+        with pytest.raises(UnsupportedLayerError):
+            partition_layer(cfg, info, "wino")
+
+
+class TestWeightGroups:
+    def test_gk_grows_with_channels(self, cfg):
+        small = partition_layer(cfg, single_conv_info(64, 64, 14, 3), "wino")
+        big = partition_layer(cfg, single_conv_info(512, 512, 14, 3), "wino")
+        assert big.n_k_groups > small.n_k_groups
+
+    def test_k_groups_cover_exactly(self, cfg):
+        info = single_conv_info(64, 100, 14, 3, padding=1)
+        part = partition_layer(cfg, info, "wino")
+        groups = k_groups(part)
+        assert sum(count for _, count in groups) == 100
+        assert groups[0][0] == 0
+
+    def test_weight_elems_reflect_winograd_expansion(self, cfg):
+        # K = 48 is a multiple of both modes' output-channel granules
+        # (PO*PT = 24 and PO = 4), so no padding skews the ratio.
+        info = single_conv_info(32, 48, 14, 3, padding=1)
+        spat = partition_layer(cfg, info, "spat")
+        wino = partition_layer(cfg, info, "wino")
+        # Eq. 9: Winograd loads PT^2 coefficients per 3x3 kernel.
+        assert wino.weight_elems_total == pytest.approx(
+            spat.weight_elems_total * cfg.pt**2 / 9
+        )
+
+    def test_fc_layer_channel_split(self, cfg):
+        net = zoo.tiny_mlp(in_features=40000, hidden=8)
+        info = net.compute_layers()[0]
+        part = partition_layer(cfg, info, "spat")
+        assert part.n_c_groups > 1
+        assert sum(c for _, c in c_groups(part)) == 40000
+
+    def test_total_groups(self, cfg):
+        info = single_conv_info(64, 64, 14, 3, padding=1)
+        part = partition_layer(cfg, info, "wino")
+        assert part.total_groups == (
+            part.n_row_groups * part.n_k_groups * part.n_c_groups
+        )
+
+
+class TestBufferConstraints:
+    def test_strip_channel_chunking(self):
+        tiny = AcceleratorConfig(
+            pi=4, po=4, pt=4, input_buffer_vecs=512,
+            weight_buffer_vecs=2048, output_buffer_vecs=2048,
+        )
+        info = single_conv_info(64, 16, 28, 3, padding=1)
+        part = partition_layer(tiny, info, "wino")
+        assert part.n_c_groups > 1
+        # Each chunk's strip fits the half.
+        assert part.strip_elems <= tiny.input_buffer_vecs * tiny.pi
+
+    def test_impossible_width_raises(self):
+        tiny = AcceleratorConfig(
+            pi=4, po=4, pt=4, input_buffer_vecs=16,
+            weight_buffer_vecs=2048, output_buffer_vecs=2048,
+        )
+        info = single_conv_info(8, 8, 64, 3, padding=1)
+        with pytest.raises(ResourceError):
+            partition_layer(tiny, info, "wino")
+
+    def test_output_buffer_limits_k_group(self):
+        tiny = AcceleratorConfig(
+            pi=4, po=4, pt=4, input_buffer_vecs=8192,
+            weight_buffer_vecs=8192, output_buffer_vecs=64,
+        )
+        info = single_conv_info(16, 64, 16, 3, padding=1)
+        part = partition_layer(tiny, info, "wino")
+        assert part.out_group_elems <= 64 * tiny.po
+
+    def test_pool_fusion_rows(self, cfg):
+        net = zoo.vgg16()
+        # conv1_2 is followed by pool1 (2x2, stride 2).
+        info = net.find("conv1_2")
+        assert fused_pool_for(net, info.index) == 2
+        part = partition_layer(cfg, info, "wino", fused_pool=2)
+        assert part.rows_per_group % 2 == 0
+
+    def test_pool_fusion_spatial_widens_group(self, cfg):
+        net = zoo.vgg16()
+        info = net.find("conv1_2")
+        part = partition_layer(cfg, info, "spat", fused_pool=2)
+        assert part.rows_per_group == 2
+        assert part.strip_rows == 4  # (2-1)*1 + 3
+
+    def test_overlapping_pool_not_fused(self):
+        net = zoo.alexnet()
+        conv1 = net.find("conv1")
+        # pool1 is 3x3 stride 2 (overlapping) -> host op, no fusion.
+        assert fused_pool_for(net, conv1.index) == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    c=st.integers(1, 96),
+    k=st.integers(1, 96),
+    h=st.integers(6, 40),
+    kernel=st.sampled_from([1, 3, 5]),
+    mode=st.sampled_from(["spat", "wino"]),
+    pt=st.sampled_from([4, 6]),
+)
+def test_partition_invariants_property(c, k, h, kernel, mode, pt):
+    """Invariants: groups tile the layer exactly and fit the buffers."""
+    cfg = AcceleratorConfig(
+        pi=4, po=4, pt=pt, input_buffer_vecs=8192,
+        weight_buffer_vecs=4096, output_buffer_vecs=4096,
+    )
+    info = single_conv_info(c, k, h, kernel, padding=kernel // 2)
+    part = partition_layer(cfg, info, mode)
+    assert sum(r for _, r in row_groups(part)) == part.out_h
+    assert sum(n for _, n in k_groups(part)) == k
+    assert sum(n for _, n in c_groups(part)) == c
+    assert part.strip_elems <= cfg.input_buffer_vecs * cfg.pi
+    assert part.weight_elems_group <= cfg.weight_buffer_vecs * cfg.pi * cfg.po
+    assert part.out_group_elems <= cfg.output_buffer_vecs * cfg.po
+    if mode == "wino":
+        assert part.rows_per_group == cfg.m
+    else:
+        assert part.rows_per_group == 1

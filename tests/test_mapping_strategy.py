@@ -1,0 +1,103 @@
+"""Tests for repro.mapping.strategy — mode/dataflow selections."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.ir import zoo
+from repro.mapping import LayerMapping, NetworkMapping
+from repro.mapping.strategy import winograd_supported
+
+
+class TestLayerMapping:
+    def test_valid(self):
+        m = LayerMapping("conv1", "wino", "ws")
+        assert m.mode == "wino"
+
+    def test_invalid_mode(self):
+        with pytest.raises(CompileError):
+            LayerMapping("conv1", "fft", "is")
+
+    def test_invalid_dataflow(self):
+        with pytest.raises(CompileError):
+            LayerMapping("conv1", "spat", "os")
+
+
+class TestWinogradSupported:
+    def test_stride1_conv_supported(self):
+        net = zoo.vgg16()
+        for info in net.conv_layers():
+            assert winograd_supported(info)
+
+    def test_strided_conv_unsupported(self):
+        # AlexNet conv1 has stride 4 — Spatial only.
+        net = zoo.alexnet()
+        conv1 = net.compute_layers()[0]
+        assert conv1.layer.stride == 4
+        assert not winograd_supported(conv1)
+
+    def test_dense_supported(self):
+        net = zoo.tiny_mlp()
+        assert winograd_supported(net.compute_layers()[0])
+
+
+class TestNetworkMapping:
+    def test_uniform_covers_compute_layers(self):
+        net = zoo.vgg16()
+        mapping = NetworkMapping.uniform(net, "wino", "ws")
+        assert len(mapping) == 16  # 13 conv + 3 fc
+        mapping.validate_against(net)
+
+    def test_uniform_downgrades_strided(self):
+        net = zoo.alexnet()
+        mapping = NetworkMapping.uniform(net, "wino", "is")
+        assert mapping.for_layer("conv1").mode == "spat"
+        assert mapping.for_layer("conv3").mode == "wino"
+
+    def test_for_layer_missing(self):
+        mapping = NetworkMapping("x", [LayerMapping("a", "spat", "is")])
+        with pytest.raises(CompileError):
+            mapping.for_layer("b")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(CompileError):
+            NetworkMapping(
+                "x",
+                [
+                    LayerMapping("a", "spat", "is"),
+                    LayerMapping("a", "wino", "ws"),
+                ],
+            )
+
+    def test_validate_detects_missing_layer(self):
+        net = zoo.tiny_cnn()
+        mapping = NetworkMapping(
+            net.name, [LayerMapping("conv1", "spat", "is")]
+        )
+        with pytest.raises(CompileError, match="missing"):
+            mapping.validate_against(net)
+
+    def test_validate_detects_extra_layer(self):
+        net = zoo.tiny_cnn()
+        layers = [
+            LayerMapping(i.layer.name, "spat", "is")
+            for i in net.compute_layers()
+        ]
+        layers.append(LayerMapping("ghost", "spat", "is"))
+        with pytest.raises(CompileError, match="extra"):
+            NetworkMapping(net.name, layers).validate_against(net)
+
+    def test_validate_rejects_wino_on_strided(self):
+        net = zoo.alexnet()
+        layers = []
+        for info in net.compute_layers():
+            layers.append(LayerMapping(info.layer.name, "wino", "ws"))
+        with pytest.raises(CompileError, match="Winograd"):
+            NetworkMapping(net.name, layers).validate_against(net)
+
+    def test_counts(self):
+        net = zoo.tiny_cnn()
+        mapping = NetworkMapping.uniform(net, "wino", "is")
+        counts = mapping.counts()
+        assert counts["wino"] == 3
+        assert counts["is"] == 3
+        assert counts["spat"] == 0

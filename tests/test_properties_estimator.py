@@ -1,0 +1,120 @@
+"""Hypothesis property tests on the analytical models: monotonicity and
+scaling laws the hardware must obey (violations would mislead the DSE)."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import AcceleratorConfig
+from repro.errors import ReproError
+from repro.estimator import estimate_layer, estimate_resources
+from repro.estimator.calibration import get_calibration
+from repro.fpga import get_device
+from repro.fpga.device import ExternalMemory
+from repro.ir import zoo
+
+DEVICE = get_device("vu9p")
+CAL = get_calibration("generic")
+
+
+def make_cfg(pi=4, po=4, pt=6):
+    return AcceleratorConfig(
+        pi=pi, po=po, pt=pt, frequency_mhz=167.0,
+        input_buffer_vecs=32768, weight_buffer_vecs=16384,
+        output_buffer_vecs=16384,
+    )
+
+
+def layer(c, k, h, kernel):
+    net = zoo.single_conv(c, k, h, kernel, padding=kernel // 2)
+    return net.compute_layers()[0]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pi=st.sampled_from([2, 4, 8]),
+    po=st.sampled_from([1, 2, 4]),
+    pt=st.sampled_from([4, 6]),
+)
+def test_resources_monotone_in_parallelism(pi, po, pt):
+    """More parallelism never uses fewer resources."""
+    assume(po <= pi)
+    small = estimate_resources(make_cfg(pi, po, pt), DEVICE, CAL)
+    big = estimate_resources(make_cfg(pi * 2, po * 2, pt), DEVICE, CAL)
+    assert big.dsps > small.dsps
+    assert big.luts > small.luts
+    assert big.brams >= small.brams
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    c=st.sampled_from([16, 64, 256]),
+    k=st.sampled_from([16, 64, 256]),
+    h=st.sampled_from([14, 28, 56]),
+    kernel=st.sampled_from([1, 3, 5]),
+    mode=st.sampled_from(["spat", "wino"]),
+    dataflow=st.sampled_from(["is", "ws"]),
+)
+def test_latency_monotone_in_bandwidth(c, k, h, kernel, mode, dataflow):
+    """More external bandwidth never increases estimated latency."""
+    info = layer(c, k, h, kernel)
+    slow_dev = replace(DEVICE, memory=ExternalMemory(bandwidth_gbps=1.0))
+    fast_dev = replace(DEVICE, memory=ExternalMemory(bandwidth_gbps=64.0))
+    cfg = make_cfg()
+    try:
+        slow = estimate_layer(cfg, slow_dev, info, mode, dataflow)
+        fast = estimate_layer(cfg, fast_dev, info, mode, dataflow)
+    except ReproError:
+        assume(False)
+    assert fast.latency <= slow.latency * (1 + 1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    c=st.sampled_from([16, 64, 256]),
+    k=st.sampled_from([16, 64, 256]),
+    h=st.sampled_from([14, 28, 56]),
+    mode=st.sampled_from(["spat", "wino"]),
+)
+def test_compute_time_scales_with_work(c, k, h, mode):
+    """Doubling the output channels doubles T_CP exactly (Eq. 6/7 are
+    linear in K)."""
+    cfg = make_cfg()
+    one = estimate_layer(cfg, DEVICE, layer(c, k, h, 3), mode, "ws")
+    two = estimate_layer(cfg, DEVICE, layer(c, 2 * k, h, 3), mode, "ws")
+    assert two.t_comp == pytest.approx(2 * one.t_comp, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    c=st.sampled_from([32, 128]),
+    h=st.sampled_from([14, 28]),
+    kernel=st.sampled_from([1, 3, 5, 7]),
+)
+def test_winograd_weight_traffic_ratio(c, h, kernel):
+    """Eq. 9 / Eq. 8: Winograd loads exactly blocks*PT^2 / (R*S) more
+    weight data, for any kernel size."""
+    cfg = make_cfg()
+    info = layer(c, 32, h, kernel)
+    spat = estimate_layer(cfg, DEVICE, info, "spat", "ws")
+    wino = estimate_layer(cfg, DEVICE, info, "wino", "ws")
+    blocks = (-(-kernel // 3)) ** 2
+    expected = blocks * cfg.pt**2 / kernel**2
+    assert wino.t_ldw / spat.t_ldw == pytest.approx(expected, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pi=st.sampled_from([2, 4, 8]),
+    po=st.sampled_from([2, 4]),
+    c=st.sampled_from([64, 256]),
+)
+def test_latency_monotone_in_pe_size(pi, po, c):
+    """A strictly larger PE never has higher compute time."""
+    assume(po <= pi)
+    info = layer(c, c, 28, 3)
+    small = estimate_layer(make_cfg(pi, po), DEVICE, info, "wino", "ws")
+    big = estimate_layer(make_cfg(2 * pi, 2 * po), DEVICE, info, "wino", "ws")
+    assert big.t_comp < small.t_comp

@@ -1,0 +1,182 @@
+"""End-to-end functional equivalence: the accelerator simulation must
+reproduce the numpy reference inference exactly (un-quantised) and
+closely (quantised) — for every mode, dataflow and tile size."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_network
+from repro.errors import RuntimeHostError
+from repro.ir import NetworkBuilder, zoo
+from repro.mapping import NetworkMapping
+from repro.runtime import (
+    HostRuntime,
+    generate_parameters,
+    reference_inference,
+)
+
+
+def run_network(net, cfg, device, mode, dataflow, quantize=False, seed=1):
+    params = generate_parameters(net, seed=seed)
+    mapping = NetworkMapping.uniform(net, mode, dataflow)
+    compiled = compile_network(
+        net, cfg, mapping, params, CompilerOptions(quantize=quantize)
+    )
+    runtime = HostRuntime(compiled, device)
+    rng = np.random.default_rng(seed + 1)
+    image = rng.normal(size=net.input_shape.as_tuple())
+    result = runtime.infer(image)
+    return result, params, image
+
+
+class TestExactEquivalence:
+    """quantize=False: outputs must match the float reference to 1e-9."""
+
+    @pytest.mark.parametrize("mode", ["spat", "wino"])
+    @pytest.mark.parametrize("dataflow", ["is", "ws"])
+    def test_tiny_cnn_pt4(self, cfg_pt4, pynq, mode, dataflow):
+        net = zoo.tiny_cnn(input_size=16, channels=8)
+        result, params, image = run_network(net, cfg_pt4, pynq, mode, dataflow)
+        ref = reference_inference(net, params, image)
+        np.testing.assert_allclose(result.output, ref, atol=1e-9)
+
+    @pytest.mark.parametrize("mode", ["spat", "wino"])
+    def test_tiny_cnn_pt6(self, cfg_pt6, pynq, mode):
+        net = zoo.tiny_cnn(input_size=16, channels=8)
+        result, params, image = run_network(net, cfg_pt6, pynq, mode, "ws")
+        ref = reference_inference(net, params, image)
+        np.testing.assert_allclose(result.output, ref, atol=1e-9)
+
+    def test_mlp_via_flatten(self, cfg_pt4, pynq):
+        net = (
+            NetworkBuilder("cnn_mlp", (3, 8, 8))
+            .conv2d(8, padding=1, relu=True, name="c1")
+            .maxpool2d(2, name="p1")
+            .flatten(name="fl")
+            .dense(24, relu=True, name="fc1")
+            .dense(10, name="fc2")
+            .build()
+        )
+        result, params, image = run_network(net, cfg_pt4, pynq, "spat", "ws")
+        ref = reference_inference(net, params, image)
+        np.testing.assert_allclose(result.output, ref, atol=1e-9)
+        assert result.host_ops == 1  # the flatten
+
+    def test_mixed_modes_layout_transforms(self, cfg_pt4, pynq):
+        """Alternating wino/spat layers exercises all four SAVE-side
+        layout transforms of Figure 5."""
+        net = (
+            NetworkBuilder("mixed", (4, 12, 12))
+            .conv2d(8, padding=1, name="a")
+            .conv2d(8, padding=1, name="b")
+            .conv2d(8, padding=1, name="c")
+            .conv2d(8, padding=1, name="d")
+            .build()
+        )
+        params = generate_parameters(net, seed=5)
+        from repro.mapping import LayerMapping
+
+        mapping = NetworkMapping(
+            net.name,
+            [
+                LayerMapping("a", "wino", "ws"),
+                LayerMapping("b", "spat", "ws"),
+                LayerMapping("c", "wino", "is"),
+                LayerMapping("d", "spat", "is"),
+            ],
+        )
+        compiled = compile_network(
+            net, cfg_pt4, mapping, params, CompilerOptions(quantize=False)
+        )
+        runtime = HostRuntime(compiled, pynq)
+        rng = np.random.default_rng(6)
+        image = rng.normal(size=(4, 12, 12))
+        out = runtime.infer(image).output
+        ref = reference_inference(net, params, image)
+        np.testing.assert_allclose(out, ref, atol=1e-9)
+
+    def test_large_kernel_decomposition(self, cfg_pt4, pynq):
+        net = (
+            NetworkBuilder("bigk", (3, 14, 14))
+            .conv2d(6, kernel_size=5, padding=2, name="c5")
+            .conv2d(4, kernel_size=7, padding=3, name="c7")
+            .build()
+        )
+        result, params, image = run_network(net, cfg_pt4, pynq, "wino", "ws")
+        ref = reference_inference(net, params, image)
+        np.testing.assert_allclose(result.output, ref, atol=1e-9)
+
+    def test_strided_conv_spatial(self, cfg_pt4, pynq):
+        net = (
+            NetworkBuilder("strided", (3, 17, 17))
+            .conv2d(8, kernel_size=3, stride=2, name="s2")
+            .build()
+        )
+        result, params, image = run_network(net, cfg_pt4, pynq, "spat", "ws")
+        ref = reference_inference(net, params, image)
+        np.testing.assert_allclose(result.output, ref, atol=1e-9)
+
+    def test_overlapping_pool_host_step(self, cfg_pt4, pynq):
+        net = (
+            NetworkBuilder("ovl", (3, 13, 13))
+            .conv2d(4, padding=1, relu=True, name="c")
+            .maxpool2d(3, stride=2, name="p")
+            .build()
+        )
+        result, params, image = run_network(net, cfg_pt4, pynq, "spat", "ws")
+        ref = reference_inference(net, params, image)
+        np.testing.assert_allclose(result.output, ref, atol=1e-9)
+        assert result.host_ops == 1
+
+
+class TestQuantizedPath:
+    def test_spatial_quantized_matches_reference(self, cfg_pt4, pynq):
+        # In Spatial mode the accelerator quantises raw weights, same as
+        # the quantised reference -> near-exact agreement.
+        net = zoo.tiny_cnn(input_size=16, channels=8)
+        result, params, image = run_network(
+            net, cfg_pt4, pynq, "spat", "ws", quantize=True
+        )
+        ref = reference_inference(
+            net, params, image,
+            feature_type=cfg_pt4.feature_type,
+            weight_type=cfg_pt4.weight_type,
+        )
+        np.testing.assert_allclose(result.output, ref, atol=1e-6)
+
+    def test_winograd_quantized_close(self, cfg_pt4, pynq):
+        # Winograd quantises *transformed* weights (Sec. 4.2.3), so the
+        # result differs slightly from the raw-quantised reference.
+        net = zoo.tiny_cnn(input_size=16, channels=8)
+        result, params, image = run_network(
+            net, cfg_pt4, pynq, "wino", "ws", quantize=True
+        )
+        ref = reference_inference(
+            net, params, image,
+            feature_type=cfg_pt4.feature_type,
+            weight_type=cfg_pt4.weight_type,
+        )
+        err = np.abs(result.output - ref)
+        scale = np.abs(ref).max() + 1e-9
+        assert err.max() / scale < 0.15  # close, not exact
+
+
+class TestHostRuntimeApi:
+    def test_input_shape_checked(self, cfg_pt4, pynq, tiny_net, tiny_params):
+        mapping = NetworkMapping.uniform(tiny_net, "spat", "ws")
+        compiled = compile_network(tiny_net, cfg_pt4, mapping, tiny_params)
+        runtime = HostRuntime(compiled, pynq)
+        with pytest.raises(RuntimeHostError):
+            runtime.load_input(np.zeros((1, 2, 3)))
+
+    def test_inference_seconds_positive(self, cfg_pt4, pynq, tiny_net,
+                                        tiny_params, tiny_image):
+        mapping = NetworkMapping.uniform(tiny_net, "spat", "ws")
+        compiled = compile_network(
+            tiny_net, cfg_pt4, mapping, tiny_params,
+            CompilerOptions(quantize=False),
+        )
+        runtime = HostRuntime(compiled, pynq)
+        result = runtime.infer(tiny_image)
+        assert result.seconds > 0
+        assert result.sim is not None

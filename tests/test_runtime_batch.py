@@ -1,0 +1,90 @@
+"""Tests for repro.runtime.batch — multi-instance batch throughput."""
+
+import numpy as np
+import pytest
+
+from repro.arch.params import AcceleratorConfig
+from repro.compiler import CompilerOptions, compile_network
+from repro.dse.engine import map_network
+from repro.errors import RuntimeHostError
+from repro.fpga import get_device
+from repro.ir import zoo
+from repro.runtime import generate_parameters
+from repro.runtime.batch import BatchRunner
+
+
+def make_runner(instances=2, functional=False):
+    device = get_device("vu9p")
+    cfg = AcceleratorConfig(
+        pi=4, po=4, pt=4, instances=instances, frequency_mhz=167.0,
+        input_buffer_vecs=4096, weight_buffer_vecs=2048,
+        output_buffer_vecs=2048,
+    )
+    net = zoo.tiny_cnn(input_size=16, channels=8)
+    mapping, _ = map_network(cfg, device, net)
+    params = generate_parameters(net)
+    compiled = compile_network(
+        net, cfg, mapping, params,
+        CompilerOptions(quantize=False, pack_data=functional),
+    )
+    ops = sum(i.ops for i in net.compute_layers())
+    return BatchRunner(compiled, device, ops, functional=functional), net
+
+
+class TestBatchTiming:
+    def test_round_robin_makespan(self):
+        runner, net = make_runner(instances=2)
+        images = [np.zeros(net.input_shape.as_tuple())] * 5
+        result = runner.run(images)
+        # 5 images over 2 instances: most-loaded runs 3 back to back.
+        assert result.makespan_seconds == pytest.approx(
+            3 * result.per_image_seconds
+        )
+
+    def test_full_batch_scales_throughput(self):
+        single, net = make_runner(instances=1)
+        multi, _ = make_runner(instances=2)
+        images = [np.zeros(net.input_shape.as_tuple())] * 8
+        t1 = single.run(images)
+        t2 = multi.run(images)
+        # Two instances halve the makespan count but each is slower
+        # (shared bandwidth) -> speedup in (1, 2].
+        speedup = t1.makespan_seconds / t2.makespan_seconds
+        assert 1.0 < speedup <= 2.0
+
+    def test_throughput_definition(self):
+        runner, net = make_runner(instances=2)
+        result = runner.run([np.zeros(net.input_shape.as_tuple())] * 4)
+        assert result.throughput_gops == pytest.approx(
+            result.total_ops / result.makespan_seconds / 1e9
+        )
+        assert result.images_per_second == pytest.approx(
+            4 / result.makespan_seconds
+        )
+
+    def test_empty_batch_rejected(self):
+        runner, _ = make_runner()
+        with pytest.raises(RuntimeHostError):
+            runner.run([])
+
+    def test_bad_ops_rejected(self):
+        device = get_device("vu9p")
+        runner, net = make_runner()
+        with pytest.raises(RuntimeHostError):
+            BatchRunner(runner.compiled, device, 0)
+
+
+class TestBatchFunctional:
+    def test_outputs_returned_per_image(self):
+        runner, net = make_runner(functional=True)
+        rng = np.random.default_rng(0)
+        images = [rng.normal(size=net.input_shape.as_tuple())
+                  for _ in range(3)]
+        result = runner.run(images)
+        assert len(result.outputs) == 3
+        from repro.runtime import reference_inference
+
+        params = generate_parameters(net)
+        for image, output in zip(images, result.outputs):
+            ref = reference_inference(net, params, image)
+            np.testing.assert_allclose(output, ref, atol=1e-9)

@@ -1,0 +1,110 @@
+"""Scenario tests: whole-framework behaviour on realistic workloads.
+
+These check *decisions*, not just mechanics: where the DSE places each
+layer, how mode mixing plays out on 1x1-heavy networks, and that the
+hybrid design degrades gracefully at the edges of the design space.
+"""
+
+import pytest
+
+from repro.dse import run_dse
+from repro.dse.engine import map_network
+from repro.dse.space import DseOptions
+from repro.errors import DseError
+from repro.ir import zoo
+
+
+class TestDarknet19:
+    """Darknet-19 alternates 3x3 and 1x1 convolutions — the workload
+    where per-layer mode choice matters most."""
+
+    @pytest.fixture(scope="class")
+    def mapping(self, cfg_vu9p_paper=None):
+        from repro.fpga import get_device
+        from repro.arch.params import AcceleratorConfig
+
+        cfg = AcceleratorConfig(
+            pi=4, po=4, pt=6, instances=6, frequency_mhz=167.0,
+            input_buffer_vecs=32768, weight_buffer_vecs=16384,
+            output_buffer_vecs=16384,
+        )
+        net = zoo.darknet19()
+        m, est = map_network(cfg, get_device("vu9p"), net)
+        return net, m, est
+
+    def test_3x3_layers_winograd(self, mapping):
+        net, m, _ = mapping
+        for info in net.conv_layers():
+            if info.layer.kernel_size == (3, 3):
+                assert m.for_layer(info.layer.name).mode == "wino"
+
+    def test_1x1_layers_spatial(self, mapping):
+        net, m, _ = mapping
+        for info in net.conv_layers():
+            if info.layer.kernel_size == (1, 1):
+                assert m.for_layer(info.layer.name).mode == "spat", (
+                    info.layer.name
+                )
+
+    def test_hybrid_beats_both_pure_modes(self, mapping):
+        from repro.arch.params import AcceleratorConfig
+        from repro.estimator import estimate_network
+        from repro.fpga import get_device
+        from repro.mapping import NetworkMapping
+
+        net, _, hybrid = mapping
+        cfg = AcceleratorConfig(
+            pi=4, po=4, pt=6, instances=6, frequency_mhz=167.0,
+            input_buffer_vecs=32768, weight_buffer_vecs=16384,
+            output_buffer_vecs=16384,
+        )
+        device = get_device("vu9p")
+        for mode in ("spat", "wino"):
+            uniform = NetworkMapping.uniform(net, mode, "ws")
+            pure = estimate_network(cfg, device, net, uniform)
+            assert hybrid.latency <= pure.latency * 1.0001, mode
+
+
+class TestAlexNet:
+    def test_dse_handles_mixed_strides(self, vu9p):
+        net = zoo.alexnet()
+        result = run_dse(
+            vu9p, net,
+            DseOptions(frequency_mhz=167, max_instances=2),
+        )
+        assert result.mapping.for_layer("conv1").mode == "spat"
+        # 5x5 and 3x3 stride-1 layers should go Winograd on a
+        # bandwidth-rich device.
+        assert result.mapping.for_layer("conv3").mode == "wino"
+
+    def test_5x5_winograd_still_profitable(self, cfg_vu9p_paper, vu9p):
+        net = zoo.alexnet()
+        mapping, _ = map_network(cfg_vu9p_paper, vu9p, net)
+        # conv2 is 5x5: decomposition still wins 25*16/(4*36) = 2.78x
+        # compute, so with VU9P bandwidth Winograd should be chosen.
+        assert mapping.for_layer("conv2").mode == "wino"
+
+
+class TestDesignSpaceEdges:
+    def test_network_too_wide_for_tiny_buffers(self, pynq):
+        # A feature row that cannot fit even PI channels of one strip.
+        net = zoo.single_conv(8, 8, 2048, 3, padding=1)
+        with pytest.raises(DseError):
+            run_dse(
+                pynq, net,
+                DseOptions(buffer_presets=(256, 256, 256)),
+            )
+
+    def test_zcu102_runs_vgg16(self):
+        from repro.fpga import get_device
+
+        result = run_dse(get_device("zcu102"), zoo.vgg16())
+        assert result.throughput_gops > 0
+        assert result.cfg.pt in (4, 6)
+
+    def test_latency_vs_throughput_tradeoff(self, vu9p):
+        net = zoo.vgg16(input_size=64, include_fc=False)
+        lat = run_dse(vu9p, net, DseOptions(objective="latency"))
+        thr = run_dse(vu9p, net, DseOptions(objective="throughput"))
+        assert lat.estimate.latency <= thr.estimate.latency * 1.0001
+        assert thr.throughput_gops >= lat.throughput_gops

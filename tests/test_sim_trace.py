@@ -1,0 +1,119 @@
+"""Tests for repro.sim.trace — traces, Gantt rendering, occupancy."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import CompilerOptions, compile_network
+from repro.errors import SimulationError
+from repro.ir import zoo
+from repro.mapping import NetworkMapping
+from repro.runtime import HostRuntime, generate_parameters
+from repro.sim.trace import (
+    TraceRecord,
+    module_occupancy,
+    render_gantt,
+    summarize,
+    trace_from_json,
+    trace_to_json,
+)
+
+
+@pytest.fixture(scope="module")
+def traced_sim(cfg_pt4=None):
+    from repro.arch.params import AcceleratorConfig
+    from repro.fpga import get_device
+
+    cfg = AcceleratorConfig(
+        pi=4, po=4, pt=4, frequency_mhz=100.0,
+        input_buffer_vecs=4096, weight_buffer_vecs=2048,
+        output_buffer_vecs=2048,
+    )
+    device = get_device("pynq-z1")
+    net = zoo.tiny_cnn(input_size=16, channels=8)
+    compiled = compile_network(
+        net, cfg, NetworkMapping.uniform(net, "wino", "ws"),
+        generate_parameters(net), CompilerOptions(quantize=False),
+    )
+    runtime = HostRuntime(compiled, device, functional=False, trace=True)
+    return runtime.infer(np.zeros(net.input_shape.as_tuple())).sim
+
+
+class TestTraceCollection:
+    def test_one_record_per_instruction(self, traced_sim):
+        assert len(traced_sim.trace) == traced_sim.instructions
+
+    def test_records_consistent_with_makespan(self, traced_sim):
+        assert max(r.finish for r in traced_sim.trace) == traced_sim.cycles
+        for record in traced_sim.trace:
+            assert record.finish > record.start >= 0
+
+    def test_module_in_order_execution(self, traced_sim):
+        # Within one module, instructions never overlap.
+        by_module = {}
+        for record in traced_sim.trace:
+            by_module.setdefault(record.module, []).append(record)
+        for records in by_module.values():
+            for a, b in zip(records, records[1:]):
+                assert b.start >= a.finish
+
+    def test_occupancy_matches_module_stats(self, traced_sim):
+        busy = module_occupancy(traced_sim.trace)
+        for name, stats in traced_sim.modules.items():
+            assert busy[name] == stats.busy_cycles
+
+    def test_trace_off_by_default(self):
+        from repro.arch.params import AcceleratorConfig
+        from repro.fpga import get_device
+
+        cfg = AcceleratorConfig(
+            pi=4, po=4, pt=4, frequency_mhz=100.0,
+            input_buffer_vecs=4096, weight_buffer_vecs=2048,
+            output_buffer_vecs=2048,
+        )
+        net = zoo.tiny_cnn(input_size=16, channels=8)
+        compiled = compile_network(
+            net, cfg, NetworkMapping.uniform(net, "spat", "ws"),
+            generate_parameters(net), CompilerOptions(quantize=False),
+        )
+        runtime = HostRuntime(compiled, get_device("pynq-z1"),
+                              functional=False)
+        sim = runtime.infer(np.zeros(net.input_shape.as_tuple())).sim
+        assert sim.trace == []
+
+
+class TestSerialisation:
+    def test_json_roundtrip(self, traced_sim, tmp_path):
+        path = tmp_path / "trace.json"
+        trace_to_json(traced_sim.trace, path)
+        back = trace_from_json(path.read_text())
+        assert back == traced_sim.trace
+
+
+class TestRendering:
+    def test_gantt_has_all_modules(self, traced_sim):
+        chart = render_gantt(traced_sim.trace)
+        for name in ("LOAD_INP", "LOAD_WGT", "COMP", "SAVE"):
+            assert name in chart
+
+    def test_gantt_windowing(self, traced_sim):
+        full = render_gantt(traced_sim.trace, width=40)
+        window = render_gantt(
+            traced_sim.trace, width=40, start=0,
+            end=traced_sim.cycles // 2,
+        )
+        assert full != window
+
+    def test_gantt_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            render_gantt([])
+
+    def test_summary(self, traced_sim):
+        text = summarize(traced_sim.trace)
+        assert "instructions" in text
+        assert "COMP" in text
+
+    def test_summary_empty(self):
+        assert summarize([]) == "empty trace"
+
+    def test_record_cycles(self):
+        assert TraceRecord(0, "COMP", "COMP", 5, 17).cycles == 12

@@ -1,0 +1,161 @@
+"""Winograd convolution vs direct convolution — exactness across kernel
+sizes, paddings and both algorithm variants, plus hypothesis property
+tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError, UnsupportedLayerError
+from repro.winograd import direct_conv2d, winograd_conv2d
+from repro.winograd.conv import (
+    spatial_multiplications,
+    winograd_multiplications,
+)
+
+
+def random_case(rng, c, k, h, w, kr, ks):
+    feature = rng.normal(size=(c, h, w))
+    kernels = rng.normal(size=(k, c, kr, ks))
+    bias = rng.normal(size=k)
+    return feature, kernels, bias
+
+
+class TestExactness:
+    @pytest.mark.parametrize("m", [2, 4])
+    @pytest.mark.parametrize("padding", [0, 1, 2])
+    def test_3x3(self, m, padding):
+        rng = np.random.default_rng(0)
+        feature, kernels, bias = random_case(rng, 5, 7, 17, 13, 3, 3)
+        got = winograd_conv2d(feature, kernels, bias, m=m, padding=padding)
+        ref = direct_conv2d(feature, kernels, bias, padding=padding)
+        assert got.shape == ref.shape
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    @pytest.mark.parametrize("m", [2, 4])
+    @pytest.mark.parametrize("kernel", [(1, 1), (5, 5), (7, 7), (11, 7), (5, 3)])
+    def test_kernel_decomposition(self, m, kernel):
+        # Section 4.2.5: larger kernels via ceil(R/r) x ceil(S/r) blocks.
+        rng = np.random.default_rng(1)
+        kr, ks = kernel
+        feature, kernels, bias = random_case(rng, 4, 3, 19, 16, kr, ks)
+        pad = max(kr, ks) // 2
+        got = winograd_conv2d(feature, kernels, bias, m=m, padding=pad)
+        ref = direct_conv2d(feature, kernels, bias, padding=pad)
+        np.testing.assert_allclose(got, ref, atol=1e-9)
+
+    def test_single_pixel_output(self):
+        rng = np.random.default_rng(2)
+        feature, kernels, _ = random_case(rng, 2, 2, 3, 3, 3, 3)
+        got = winograd_conv2d(feature, kernels, m=4)
+        ref = direct_conv2d(feature, kernels)
+        assert got.shape == (2, 1, 1)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_single_channel(self):
+        rng = np.random.default_rng(3)
+        feature, kernels, _ = random_case(rng, 1, 1, 8, 8, 3, 3)
+        np.testing.assert_allclose(
+            winograd_conv2d(feature, kernels, m=2),
+            direct_conv2d(feature, kernels),
+            atol=1e-10,
+        )
+
+
+class TestRestrictions:
+    def test_stride_rejected(self):
+        # Winograd mode requires stride 1; strided layers run Spatial.
+        feature = np.zeros((1, 8, 8))
+        kernels = np.zeros((1, 1, 3, 3))
+        with pytest.raises(UnsupportedLayerError):
+            winograd_conv2d(feature, kernels, stride=2)
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            winograd_conv2d(np.zeros((2, 8, 8)), np.zeros((1, 3, 3, 3)))
+
+    def test_bad_bias(self):
+        with pytest.raises(ShapeError):
+            winograd_conv2d(
+                np.zeros((1, 8, 8)), np.zeros((2, 1, 3, 3)),
+                bias=np.zeros(3),
+            )
+
+    def test_kernel_larger_than_input(self):
+        with pytest.raises(ShapeError):
+            winograd_conv2d(np.zeros((1, 4, 4)), np.zeros((1, 1, 7, 7)))
+
+
+class TestMultiplicationCounts:
+    def test_f4x4_3x3_reduction_is_4x(self):
+        # Section 4.2.1's headline: 36 vs 144 multiplications per tile.
+        wino = winograd_multiplications(1, 1, 3, 3, 4, 4, m=4)
+        spat = spatial_multiplications(1, 1, 3, 3, 4, 4)
+        assert spat / wino == 4.0
+
+    def test_decomposed_5x5_overhead_matches_paper(self):
+        # Paper example (Sec. 5.2): 5x5 kernel with m=4 loads
+        # 2*2*36/25 = 5.76x more weight data; the multiplication ratio
+        # follows the same 4-block structure.
+        wino = winograd_multiplications(1, 1, 5, 5, 4, 4, m=4)
+        assert wino == 4 * 36  # 4 blocks x 36 mults for one tile
+
+
+class TestDirectConvReference:
+    def test_strided(self):
+        rng = np.random.default_rng(4)
+        feature, kernels, _ = random_case(rng, 3, 2, 11, 11, 3, 3)
+        out = direct_conv2d(feature, kernels, stride=2)
+        assert out.shape == (2, 5, 5)
+        # Spot-check one output against a manual dot product.
+        manual = np.sum(feature[:, 2:5, 4:7] * kernels[1])
+        assert out[1, 1, 2] == pytest.approx(manual)
+
+    def test_identity_kernel(self):
+        feature = np.arange(27, dtype=float).reshape(3, 3, 3)
+        kernels = np.zeros((3, 3, 1, 1))
+        for i in range(3):
+            kernels[i, i, 0, 0] = 1.0
+        np.testing.assert_array_equal(
+            direct_conv2d(feature, kernels), feature
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    c=st.integers(1, 4),
+    k=st.integers(1, 4),
+    h=st.integers(3, 12),
+    w=st.integers(3, 12),
+    m=st.sampled_from([2, 4]),
+    padding=st.integers(0, 2),
+    seed=st.integers(0, 2**31),
+)
+def test_winograd_equals_direct_property(c, k, h, w, m, padding, seed):
+    """Property: Winograd == direct convolution for any geometry."""
+    rng = np.random.default_rng(seed)
+    feature = rng.normal(size=(c, h, w))
+    kernels = rng.normal(size=(k, c, 3, 3))
+    got = winograd_conv2d(feature, kernels, m=m, padding=padding)
+    ref = direct_conv2d(feature, kernels, padding=padding)
+    np.testing.assert_allclose(got, ref, atol=1e-8)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    kr=st.integers(1, 9),
+    ks=st.integers(1, 9),
+    m=st.sampled_from([2, 4]),
+    seed=st.integers(0, 2**31),
+)
+def test_decomposition_any_kernel_property(kr, ks, m, seed):
+    """Property: kernel decomposition handles any R x S."""
+    rng = np.random.default_rng(seed)
+    h = kr + 5
+    w = ks + 5
+    feature = rng.normal(size=(2, h, w))
+    kernels = rng.normal(size=(2, 2, kr, ks))
+    got = winograd_conv2d(feature, kernels, m=m)
+    ref = direct_conv2d(feature, kernels)
+    np.testing.assert_allclose(got, ref, atol=1e-8)

@@ -1,0 +1,78 @@
+"""Tests for repro.winograd.decompose — kernel decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.winograd.decompose import (
+    decompose_kernel,
+    decomposition_blocks,
+    reconstruct_kernel,
+)
+
+
+class TestBlocks:
+    def test_3x3_single_block(self):
+        assert decomposition_blocks(3, 3, 3) == [(0, 0)]
+
+    def test_5x5_four_blocks(self):
+        # ceil(5/3) x ceil(5/3) = 4 blocks, paper Section 4.2.5.
+        blocks = decomposition_blocks(5, 5, 3)
+        assert blocks == [(0, 0), (0, 3), (3, 0), (3, 3)]
+
+    def test_7x7_nine_blocks(self):
+        assert len(decomposition_blocks(7, 7, 3)) == 9
+
+    def test_rectangular(self):
+        assert decomposition_blocks(11, 7, 3) == [
+            (r, s) for r in (0, 3, 6, 9) for s in (0, 3, 6)
+        ]
+
+    def test_1x1(self):
+        assert decomposition_blocks(1, 1, 3) == [(0, 0)]
+
+    def test_invalid(self):
+        with pytest.raises(ShapeError):
+            decomposition_blocks(0, 3, 3)
+
+
+class TestDecompose:
+    def test_blocks_zero_padded(self):
+        kernels = np.ones((1, 1, 5, 5))
+        blocks = decompose_kernel(kernels, 3)
+        # block at (3, 3) holds rows/cols 3-4 only; rest is padding.
+        (_, last) = blocks[-1]
+        assert last[0, 0, :2, :2].sum() == 4
+        assert last[0, 0, 2, :].sum() == 0
+        assert last[0, 0, :, 2].sum() == 0
+
+    def test_sum_of_blocks_preserves_coefficients(self):
+        rng = np.random.default_rng(0)
+        kernels = rng.normal(size=(2, 3, 7, 5))
+        blocks = decompose_kernel(kernels, 3)
+        total = sum(block.sum() for _, block in blocks)
+        assert total == pytest.approx(kernels.sum())
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ShapeError):
+            decompose_kernel(np.ones((3, 3)), 3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    kr=st.integers(1, 12),
+    ks=st.integers(1, 12),
+    k=st.integers(1, 3),
+    c=st.integers(1, 3),
+    seed=st.integers(0, 2**31),
+)
+def test_reconstruct_inverts_decompose(kr, ks, k, c, seed):
+    """Property: decomposition is lossless."""
+    rng = np.random.default_rng(seed)
+    kernels = rng.normal(size=(k, c, kr, ks))
+    blocks = decompose_kernel(kernels, 3)
+    assert len(blocks) == (-(-kr // 3)) * (-(-ks // 3))
+    back = reconstruct_kernel(blocks, kr, ks)
+    np.testing.assert_array_equal(back, kernels)

@@ -1,0 +1,95 @@
+"""Tests for repro.winograd.matrices — transform-matrix correctness.
+
+The key mathematical property: for any kernel g and tile d,
+``A^T [(G g G^T) .* (B^T d B)] A`` equals the valid convolution of d
+with g.  Checked here in 1-D form per matrix pair and in full 2-D form
+in test_winograd_conv.py.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.winograd.matrices import (
+    SUPPORTED_TILES,
+    WinogradAlgorithm,
+    algorithm_for_tile,
+    get_algorithm,
+)
+
+
+@pytest.fixture(params=[2, 4], ids=["F(2x2,3x3)", "F(4x4,3x3)"])
+def alg(request):
+    return get_algorithm(request.param, 3)
+
+
+class TestAlgorithmAccess:
+    def test_tile_sizes(self):
+        assert get_algorithm(2, 3).tile == 4
+        assert get_algorithm(4, 3).tile == 6
+        assert SUPPORTED_TILES == (4, 6)
+
+    def test_algorithm_for_tile(self):
+        assert algorithm_for_tile(4).m == 2
+        assert algorithm_for_tile(6).m == 4
+
+    def test_unsupported_rejected(self):
+        # Table 2: PT in {4, 6} only.
+        with pytest.raises(ReproError):
+            get_algorithm(6, 3)
+        with pytest.raises(ReproError):
+            get_algorithm(2, 5)
+        with pytest.raises(ReproError):
+            algorithm_for_tile(8)
+
+    def test_matrices_read_only(self, alg):
+        with pytest.raises(ValueError):
+            alg.bt[0, 0] = 99.0
+
+
+class TestMultiplicationReduction:
+    def test_f4x4_is_4x(self):
+        # Section 4.2.1: 144 spatial vs 36 Winograd multiplications.
+        assert get_algorithm(4, 3).multiplication_reduction == 4.0
+
+    def test_f2x2_is_2_25x(self):
+        assert get_algorithm(2, 3).multiplication_reduction == 2.25
+
+
+class Test1DCorrectness:
+    """F(m, r) in one dimension: A^T [(G g) .* (B^T d)] == conv1d."""
+
+    def test_1d_identity(self, alg):
+        rng = np.random.default_rng(0)
+        g = rng.normal(size=alg.r)
+        d = rng.normal(size=alg.tile)
+        wino = alg.at @ ((alg.g @ g) * (alg.bt @ d))
+        direct = np.array(
+            [np.dot(d[i : i + alg.r], g) for i in range(alg.m)]
+        )
+        assert np.allclose(wino, direct)
+
+    def test_1d_linearity_in_kernel(self, alg):
+        rng = np.random.default_rng(1)
+        g1, g2 = rng.normal(size=(2, alg.r))
+        d = rng.normal(size=alg.tile)
+
+        def run(g):
+            return alg.at @ ((alg.g @ g) * (alg.bt @ d))
+
+        assert np.allclose(run(g1) + run(g2), run(g1 + g2))
+
+    def test_matrix_shapes(self, alg):
+        t = alg.tile
+        assert alg.bt.shape == (t, t)
+        assert alg.g.shape == (t, alg.r)
+        assert alg.at.shape == (alg.m, t)
+
+
+class TestValidation:
+    def test_bad_shapes_rejected(self):
+        good = get_algorithm(2, 3)
+        with pytest.raises(ReproError):
+            WinogradAlgorithm(
+                m=2, r=3, bt=np.eye(3), g=good.g.copy(), at=good.at.copy()
+            )

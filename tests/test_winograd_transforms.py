@@ -1,0 +1,117 @@
+"""Tests for repro.winograd.transforms — tiling and the three
+transforms of Eq. 1."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.winograd.matrices import get_algorithm
+from repro.winograd.transforms import (
+    assemble_output_tiles,
+    extract_input_tiles,
+    pad_feature_for_tiling,
+    transform_input,
+    transform_output,
+    transform_weight,
+)
+
+
+@pytest.fixture(params=[2, 4], ids=["m2", "m4"])
+def alg(request):
+    return get_algorithm(request.param, 3)
+
+
+class TestTransforms:
+    def test_weight_transform_shape(self, alg):
+        kernels = np.ones((5, 3, alg.r, alg.r))
+        u = transform_weight(alg, kernels)
+        assert u.shape == (5, 3, alg.tile, alg.tile)
+
+    def test_weight_transform_rejects_bad_tail(self, alg):
+        with pytest.raises(ShapeError):
+            transform_weight(alg, np.ones((5, 3, 4, 4)) if alg.r == 3 else np.ones((5, 3, 2, 2)))
+
+    def test_input_transform_preserves_shape(self, alg):
+        tiles = np.random.default_rng(0).normal(size=(7, alg.tile, alg.tile))
+        v = transform_input(alg, tiles)
+        assert v.shape == tiles.shape
+
+    def test_output_transform_shape(self, alg):
+        tiles = np.ones((2, 3, alg.tile, alg.tile))
+        y = transform_output(alg, tiles)
+        assert y.shape == (2, 3, alg.m, alg.m)
+
+    def test_transforms_are_linear(self, alg):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(alg.tile, alg.tile))
+        b = rng.normal(size=(alg.tile, alg.tile))
+        assert np.allclose(
+            transform_input(alg, a + b),
+            transform_input(alg, a) + transform_input(alg, b),
+        )
+
+    def test_constant_kernel_transform_known_value(self):
+        # For F(2x2,3x3) with an all-ones kernel, G g G^T row 0 is
+        # [1, 0, 0] outer structure: U[0,0] = 1.
+        alg = get_algorithm(2, 3)
+        u = transform_weight(alg, np.ones((1, 1, 3, 3)))[0, 0]
+        assert u[0, 0] == pytest.approx(1.0)
+
+
+class TestTiling:
+    def test_extract_shapes(self, alg):
+        m, t = alg.m, alg.tile
+        feature = np.arange(2 * (2 * m + 2) * (3 * m + 2), dtype=float).reshape(
+            2, 2 * m + 2, 3 * m + 2
+        )
+        tiles = extract_input_tiles(alg, feature)
+        assert tiles.shape == (2, 2, 3, t, t)
+
+    def test_tiles_overlap_by_r_minus_1(self, alg):
+        m, t = alg.m, alg.tile
+        feature = np.arange((m * 2 + 2) ** 2, dtype=float).reshape(
+            1, m * 2 + 2, m * 2 + 2
+        )
+        tiles = extract_input_tiles(alg, feature)
+        # Tile (0,1) starts m columns after tile (0,0): overlap = t - m = r-1.
+        overlap = tiles[0, 0, 0][:, m:]
+        assert np.array_equal(overlap, tiles[0, 0, 1][:, : t - m])
+
+    def test_untileable_rejected(self, alg):
+        bad = np.zeros((1, alg.tile + 1, alg.tile))
+        with pytest.raises(ShapeError):
+            extract_input_tiles(alg, bad)
+
+    def test_pad_for_tiling_pads_bottom_right(self, alg):
+        feature = np.ones((1, alg.r, alg.r))
+        padded = pad_feature_for_tiling(alg, feature, 1, 1)
+        assert padded.shape == (1, alg.tile, alg.tile)
+        assert padded[0, -1, -1] == 0.0
+
+    def test_pad_for_tiling_crops_excess(self, alg):
+        # A window larger than the tiled coverage is cropped losslessly.
+        feature = np.ones((1, 5 * alg.tile, 5 * alg.tile))
+        padded = pad_feature_for_tiling(alg, feature, alg.m, alg.m)
+        assert padded.shape == (1, alg.tile, alg.tile)
+
+    def test_assemble_inverse_of_extract_for_outputs(self, alg):
+        m = alg.m
+        k, ny, nx = 3, 2, 4
+        rng = np.random.default_rng(2)
+        tiles = rng.normal(size=(k, ny, nx, m, m))
+        full = assemble_output_tiles(tiles, ny * m, nx * m)
+        assert full.shape == (k, ny * m, nx * m)
+        # Check one specific tile position.
+        assert np.array_equal(full[:, m : 2 * m, 0:m], tiles[:, 1, 0])
+
+    def test_assemble_crops(self, alg):
+        m = alg.m
+        tiles = np.ones((1, 2, 2, m, m))
+        full = assemble_output_tiles(tiles, 2 * m - 1, 2 * m - 1)
+        assert full.shape == (1, 2 * m - 1, 2 * m - 1)
+
+    def test_assemble_rejects_undersized(self, alg):
+        m = alg.m
+        tiles = np.ones((1, 1, 1, m, m))
+        with pytest.raises(ShapeError):
+            assemble_output_tiles(tiles, m + 1, m)
