@@ -1,0 +1,93 @@
+"""Benchmark: full-sweep DSE wall-clock and cache hit rate, seed vs
+pipeline.
+
+The sweep is the VGG16 tradeoff study on VU9P: the full 621-candidate
+space explored once per objective (throughput, then latency) — the
+many-scenario pattern the unified pipeline exists for.  The *seed* path
+is the brute-force configuration (no cache, no pruning); the *pipeline*
+path shares one :class:`~repro.pipeline.cache.EvaluationCache` across
+the two runs and enables lower-bound pruning with best-first ordering.
+
+Checked claims:
+
+* the pipeline selects the byte-identical design point per objective;
+* >= 3x wall-clock speedup over the seed path;
+* >= 50% cache hit rate across the sweep.
+"""
+
+import time
+
+from repro.dse import run_dse
+from repro.dse.space import DseOptions
+from repro.fpga import get_device
+from repro.ir import zoo
+from repro.pipeline import EvaluationCache
+
+OBJECTIVES = ("throughput", "latency")
+
+
+def _sweep_seed(device, network):
+    return {
+        objective: run_dse(
+            device, network,
+            DseOptions(frequency_mhz=device.frequency_mhz,
+                       objective=objective, use_cache=False, prune=False),
+        )
+        for objective in OBJECTIVES
+    }
+
+
+def _sweep_pipeline(device, network, cache):
+    return {
+        objective: run_dse(
+            device, network,
+            DseOptions(frequency_mhz=device.frequency_mhz,
+                       objective=objective, best_first=True),
+            cache=cache,
+        )
+        for objective in OBJECTIVES
+    }
+
+
+def _design_point(result):
+    return result.cfg, result.mapping, result.estimate
+
+
+def test_dse_cache_speedup(benchmark, once, capsys):
+    device = get_device("vu9p")
+    network = zoo.vgg16()
+
+    start = time.perf_counter()
+    seed = _sweep_seed(device, network)
+    seed_seconds = time.perf_counter() - start
+
+    cache = EvaluationCache()
+    start = time.perf_counter()
+    fast = once(benchmark, _sweep_pipeline, device, network, cache)
+    fast_seconds = time.perf_counter() - start
+
+    stats = cache.stats
+    speedup = seed_seconds / fast_seconds
+    with capsys.disabled():
+        print()
+        print("VGG16 full sweep on vu9p "
+              f"({seed['throughput'].candidates_considered} candidates "
+              f"x {len(OBJECTIVES)} objectives)")
+        print(f"  seed (brute force): {seed_seconds * 1e3:8.1f} ms")
+        print(f"  pipeline:           {fast_seconds * 1e3:8.1f} ms "
+              f"({speedup:.1f}x)")
+        print(f"  cache: {stats.describe()}")
+        for objective in OBJECTIVES:
+            result = fast[objective]
+            print(f"  {objective}: evaluated {result.candidates_evaluated}, "
+                  f"pruned {result.candidates_pruned} of "
+                  f"{result.candidates_considered}")
+
+    # Identical selection per objective.
+    for objective in OBJECTIVES:
+        assert _design_point(fast[objective]) == _design_point(
+            seed[objective]
+        ), objective
+    # Acceptance: >= 3x wall-clock, >= 50% cache hit rate.
+    assert speedup >= 3.0, f"speedup {speedup:.2f}x < 3x"
+    assert stats.hit_rate >= 0.5, f"hit rate {stats.hit_rate:.2%} < 50%"

@@ -22,7 +22,9 @@ from repro import (
     get_device,
 )
 from repro.dse.engine import map_network
+from repro.estimator.calibration import get_calibration
 from repro.ir import zoo
+from repro.pipeline import EvaluationCache
 from repro.runtime.batch import BatchRunner
 
 
@@ -43,9 +45,13 @@ def main():
         input_buffer_vecs=32768, weight_buffer_vecs=16384,
         output_buffer_vecs=16384,
     )
+    # Calibration resolved once; the cache shares the group-partition
+    # geometry across the NI sweep (it is instance-count independent).
+    cal = get_calibration(device.name)
+    cache = EvaluationCache()
     for ni in (1, 2, 3, 6):
         cfg = replace(base, instances=ni)
-        mapping, _ = map_network(cfg, device, net)
+        mapping, _ = map_network(cfg, device, net, cal, cache=cache)
         compiled = compile_network(
             net, cfg, mapping, params,
             CompilerOptions(quantize=True, pack_data=False),

@@ -19,19 +19,12 @@ import sys
 import tempfile
 from pathlib import Path
 
-import numpy as np
-
-from repro import (
-    CompilerOptions,
-    compile_network,
-    generate_parameters,
-    get_device,
-    run_dse,
-)
+from repro import get_device
 from repro.dse.space import DseOptions
 from repro.hls import HlsConfig, emit_project
 from repro.ir import network_from_dict
 from repro.isa import disassemble
+from repro.pipeline import EvaluationCache, PipelineSession
 
 MODEL_JSON = {
     "name": "detector_backbone",
@@ -58,19 +51,27 @@ def main(out_dir=None):
     net = network_from_dict(MODEL_JSON)
     print(net.summary())
 
-    # Step 2: DSE across catalog devices.
+    # Step 2: DSE across catalog devices.  One PipelineSession per
+    # device, all sharing a single evaluation cache: the per-layer
+    # estimates and the DSE selection are computed lazily, once.
     print("\nDSE across devices:")
-    results = {}
-    for name in ("vu9p", "zcu102", "pynq-z1"):
-        device = get_device(name)
-        results[name] = run_dse(device, net, DseOptions())
-        r = results[name]
+    cache = EvaluationCache()
+    sessions = {
+        name: PipelineSession(net, name, DseOptions(jobs=2), cache=cache,
+                              seed=13)
+        for name in ("vu9p", "zcu102", "pynq-z1")
+    }
+    for name, session in sessions.items():
+        r = session.dse()
         print(f"  {name:8s}: PI={r.cfg.pi} PO={r.cfg.po} PT={r.cfg.pt} "
               f"x{r.cfg.instances}  {r.latency_ms:7.3f} ms/img  "
-              f"{r.throughput_gops:8.1f} GOPS")
+              f"{r.throughput_gops:8.1f} GOPS  "
+              f"({r.candidates_pruned}/{r.candidates_considered} pruned)")
+    print(f"  shared cache: {cache.stats.describe()}")
 
     # Step 3: inspect the embedded mapping.
-    choice = results["pynq-z1"]
+    choice_session = sessions["pynq-z1"]
+    choice = choice_session.dse()
     print("\nper-layer mapping on pynq-z1:")
     for m in choice.mapping:
         est = next(
@@ -83,10 +84,7 @@ def main(out_dir=None):
     out_dir = Path(out_dir or tempfile.mkdtemp(prefix="hybriddnn_custom_"))
     out_dir.mkdir(parents=True, exist_ok=True)
     (out_dir / "model.json").write_text(json.dumps(MODEL_JSON, indent=2))
-    params = generate_parameters(net, seed=13)
-    compiled = compile_network(
-        net, choice.cfg, choice.mapping, params, CompilerOptions()
-    )
+    compiled = choice_session.compiled()
     program = compiled.steps[0].program
     program.save(out_dir / "program.bin")
     (out_dir / "program.asm").write_text(disassemble(program))

@@ -9,6 +9,10 @@ Commands mirror the framework's steps:
 * ``simulate`` — run the cycle-approximate simulation end to end.
 * ``emit-hls`` — write the HLS project for a DSE-selected design.
 * ``experiments`` — regenerate a paper table/figure by name.
+
+All model-evaluating commands share one
+:class:`~repro.pipeline.session.PipelineSession`, so the DSE result,
+compiled model and runtime are each computed once per invocation.
 """
 
 from __future__ import annotations
@@ -17,31 +21,15 @@ import argparse
 import sys
 from pathlib import Path
 
-import numpy as np
-
-from repro.compiler import CompilerOptions, compile_network
-from repro.dse import run_dse
+from repro.compiler import CompilerOptions
 from repro.dse.space import DseOptions
 from repro.errors import ReproError
 from repro.estimator import estimate_resources
 from repro.fpga import DEVICES, get_device
 from repro.hls import HlsConfig, emit_project
-from repro.ir import load_network, zoo
+from repro.ir import zoo
 from repro.isa import disassemble
-from repro.runtime import HostRuntime, generate_parameters
-
-
-def _load_model(spec: str):
-    """A zoo name or a path to a model JSON."""
-    if spec in zoo.MODELS:
-        return zoo.get_model(spec)
-    path = Path(spec)
-    if path.exists():
-        return load_network(path)
-    raise ReproError(
-        f"unknown model {spec!r}: not in the zoo {sorted(zoo.MODELS)} "
-        "and no such file"
-    )
+from repro.pipeline import PipelineSession
 
 
 def _cmd_devices(_args) -> int:
@@ -60,20 +48,32 @@ def _cmd_models(_args) -> int:
     return 0
 
 
-def _run_dse(args):
-    device = get_device(args.device)
-    network = _load_model(args.model)
+def _session(args) -> PipelineSession:
+    """One shared pipeline session for the model-evaluating commands.
+
+    Model / device specs are resolved by the session itself (zoo name or
+    JSON path, catalog name).
+    """
     options = DseOptions(
         objective=args.objective,
         max_instances=args.max_instances,
+        top_k=getattr(args, "top_k", 5),
+        jobs=getattr(args, "jobs", 1),
     )
-    return device, network, run_dse(device, network, options)
+    return PipelineSession(
+        args.model,
+        get_device(args.device),
+        options,
+        compiler_options=CompilerOptions(quantize=not args.exact),
+        seed=args.seed,
+    )
 
 
 def _cmd_dse(args) -> int:
-    device, _, result = _run_dse(args)
+    session = _session(args)
+    result = session.dse()
     print(result.summary())
-    util = result.total.utilisation(device.resources)
+    util = result.total.utilisation(session.device.resources)
     print("utilisation: " + ", ".join(
         f"{k} {v * 100:.1f}%" for k, v in util.items()
     ))
@@ -81,21 +81,18 @@ def _cmd_dse(args) -> int:
         print("\nper-layer mapping:")
         for m in result.mapping:
             print(f"  {m.layer_name:14s} {m.mode}-{m.dataflow}")
+        print(
+            f"\nevaluated {result.candidates_evaluated}, pruned "
+            f"{result.candidates_pruned} of {result.candidates_considered} "
+            "candidates"
+        )
+        if result.cache_stats is not None:
+            print(f"cache: {result.cache_stats.describe()}")
     return 0
 
 
-def _compile(args):
-    device, network, result = _run_dse(args)
-    params = generate_parameters(network, seed=args.seed)
-    compiled = compile_network(
-        network, result.cfg, result.mapping, params,
-        CompilerOptions(quantize=not args.exact),
-    )
-    return device, network, result, params, compiled
-
-
 def _cmd_compile(args) -> int:
-    _, _, _, _, compiled = _compile(args)
+    compiled = _session(args).compiled()
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
     for index, program in enumerate(compiled.programs()):
@@ -110,15 +107,14 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    device, network, result, params, compiled = _compile(args)
-    runtime = HostRuntime(compiled, device, functional=args.functional)
-    image = np.zeros(network.input_shape.as_tuple())
-    sim = runtime.infer(image).sim
+    session = _session(args)
+    network = session.network
+    sim = session.simulate(functional=args.functional)
     ops = sum(i.ops for i in network.compute_layers())
     print(
-        f"{network.name} on {device.name}: "
+        f"{network.name} on {session.device.name}: "
         f"{sim.seconds * 1e3:.2f} ms/image/instance, "
-        f"{ops / sim.seconds / 1e9 * result.cfg.instances:.1f} GOPS "
+        f"{ops / sim.seconds / 1e9 * session.cfg.instances:.1f} GOPS "
         f"aggregate, {sim.instructions} instructions"
     )
     for name, stats in sim.modules.items():
@@ -127,13 +123,17 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_emit_hls(args) -> int:
-    device, network, result = _run_dse(args)
+    session = _session(args)
     files = emit_project(
-        HlsConfig.from_config(result.cfg, device, network.name),
+        HlsConfig.from_config(
+            session.cfg, session.device, session.network.name
+        ),
         args.output,
     )
-    resources = estimate_resources(result.cfg, device)
-    print(f"design: {result.cfg.describe()}")
+    resources = estimate_resources(
+        session.cfg, session.device, session.calibration
+    )
+    print(f"design: {session.cfg.describe()}")
     print(f"estimated resources: {resources}")
     for name, path in files.items():
         print(f"wrote {name}: {path}")
@@ -202,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("dse", help="run design space exploration")
     add_common(p)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel candidate evaluations")
+    p.add_argument("--top-k", type=int, default=5, dest="top_k",
+                   help="number of ranked designs to keep")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_dse)
 

@@ -9,13 +9,22 @@ Three steps, matching the paper's algorithm:
 3. Pick the candidate with the lowest total latency (``run_dse``) — O(N).
 """
 
-from repro.dse.space import HardwareCandidate, explore_hardware
-from repro.dse.engine import DseResult, map_network, run_dse
+from repro.dse.space import DseOptions, HardwareCandidate, explore_hardware
+from repro.dse.engine import (
+    DseResult,
+    latency_lower_bound,
+    map_network,
+    objective_lower_bound,
+    run_dse,
+)
 
 __all__ = [
+    "DseOptions",
     "DseResult",
     "HardwareCandidate",
     "explore_hardware",
+    "latency_lower_bound",
     "map_network",
+    "objective_lower_bound",
     "run_dse",
 ]

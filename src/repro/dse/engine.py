@@ -5,18 +5,36 @@ under the four (mode x dataflow) combinations with the Eq. 12-15 model
 and keeps the argmin — the per-layer design choices are independent
 given the hardware, so this is exact, not heuristic.  Step 3 ranks the
 candidates by the chosen objective.
+
+Step 3 runs through three accelerations, all of which preserve the
+brute-force selection bit for bit:
+
+* **memoization** — per-layer estimates go through an
+  :class:`~repro.pipeline.cache.EvaluationCache`, deduplicating repeated
+  layer shapes and the final re-estimate of the selected mapping;
+* **pruning** — a compute-bound lower bound (``latency >= sum of
+  per-layer T_CP minima``, Eq. 6/7) is admissible, so any candidate whose
+  bound cannot beat the current ``top_k``-th objective is skipped without
+  affecting the winner *or* the runners-up;
+* **parallelism** — ``DseOptions.jobs`` evaluates candidates on a thread
+  pool; results are re-ranked by (objective, enumeration index), which is
+  exactly the stable order of the serial path.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.params import AcceleratorConfig
 from repro.errors import DseError, ReproError
 from repro.estimator.calibration import CalibrationProfile, get_calibration
 from repro.estimator.latency import (
     NetworkEstimate,
+    _module_times,
     estimate_layer,
     estimate_network,
 )
@@ -31,6 +49,7 @@ from repro.mapping.strategy import (
     NetworkMapping,
     winograd_supported,
 )
+from repro.pipeline.cache import CacheStats, EvaluationCache
 from repro.dse.space import DseOptions, HardwareCandidate, explore_hardware
 
 
@@ -46,6 +65,9 @@ class DseResult:
     total: ResourceBudget
     candidates_considered: int
     runners_up: Tuple["DseResult", ...] = ()
+    candidates_evaluated: int = 0
+    candidates_pruned: int = 0
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def throughput_gops(self) -> float:
@@ -72,14 +94,17 @@ def map_network(
     device: FpgaDevice,
     network: Network,
     cal: Optional[CalibrationProfile] = None,
+    cache: Optional[EvaluationCache] = None,
 ) -> Tuple[NetworkMapping, NetworkEstimate]:
     """Step 2: best (mode, dataflow) per layer for a fixed candidate.
 
     Raises :class:`DseError` when some layer fits no combination (e.g.
-    buffers too small for even one group).
+    buffers too small for even one group).  With ``cache`` the per-layer
+    estimates are memoized (identical results, fewer model evaluations).
     """
     if cal is None:
         cal = get_calibration(device.name)
+    estimate_fn = cache.estimate if cache is not None else estimate_layer
     selections: List[LayerMapping] = []
     for info in network.compute_layers():
         pool = fused_pool_for(network, info.index)
@@ -89,7 +114,7 @@ def map_network(
                 continue
             for dataflow in DATAFLOWS:
                 try:
-                    est = estimate_layer(
+                    est = estimate_fn(
                         cfg, device, info, mode, dataflow, cal, pool
                     )
                 except ReproError:
@@ -103,7 +128,7 @@ def map_network(
             )
         selections.append(LayerMapping(info.layer.name, best[1], best[2]))
     mapping = NetworkMapping(network.name, selections)
-    estimate = estimate_network(cfg, device, network, mapping, cal)
+    estimate = estimate_network(cfg, device, network, mapping, cal, cache)
     return mapping, estimate
 
 
@@ -116,39 +141,181 @@ def _objective(estimate: NetworkEstimate, objective: str) -> float:
     raise DseError(f"unknown objective {objective!r}")
 
 
+def latency_lower_bound(
+    cfg: AcceleratorConfig, device: FpgaDevice, network: Network
+) -> float:
+    """Admissible network-latency bound for one candidate (seconds).
+
+    Every (mode, dataflow) latency is ``max(..., T_CP, ...) + T_penalty
+    >= T_CP`` (Eq. 12-15), so summing each layer's cheapest *supported*
+    compute time bounds the achievable latency from below — without
+    partitioning a single layer.
+    """
+    total = 0.0
+    for info in network.compute_layers():
+        per_mode = [_module_times(cfg, device, info, "spat")[0]]
+        if winograd_supported(info):
+            per_mode.append(_module_times(cfg, device, info, "wino")[0])
+        total += min(per_mode)
+    return total
+
+
+def objective_lower_bound(
+    lb_latency: float, objective: str, ops: int, instances: int
+) -> float:
+    """Lower bound on ``_objective`` given a latency lower bound."""
+    if objective == "latency":
+        return lb_latency
+    if objective == "throughput":
+        if lb_latency <= 0:
+            return -math.inf
+        # gops <= ops / lb_latency * NI  =>  -gops >= this bound.
+        return -(ops / lb_latency / 1e9) * instances
+    raise DseError(f"unknown objective {objective!r}")
+
+
+def _candidate_bounds(
+    candidates: List[HardwareCandidate],
+    device: FpgaDevice,
+    network: Network,
+    objective: str,
+) -> List[float]:
+    """Objective lower bound per candidate.
+
+    ``T_CP`` depends only on (PI, PO, PT, FREQ), which many candidates
+    share (they differ in buffers / instance count), so the latency
+    bound is memoized on that projection.
+    """
+    total_ops = sum(info.ops for info in network.compute_layers())
+    lb_memo: Dict[Tuple[int, int, int, float], float] = {}
+    bounds = []
+    for candidate in candidates:
+        cfg = candidate.cfg
+        key = (cfg.pi, cfg.po, cfg.pt, cfg.frequency_mhz)
+        lb_latency = lb_memo.get(key)
+        if lb_latency is None:
+            lb_latency = latency_lower_bound(cfg, device, network)
+            lb_memo[key] = lb_latency
+        bounds.append(
+            objective_lower_bound(
+                lb_latency, objective, total_ops, cfg.instances
+            )
+        )
+    return bounds
+
+
 def run_dse(
     device: FpgaDevice,
     network: Network,
     options: Optional[DseOptions] = None,
     cal: Optional[CalibrationProfile] = None,
+    cache: Optional[EvaluationCache] = None,
+    candidates: Optional[List[HardwareCandidate]] = None,
 ) -> DseResult:
     """Full 3-step DSE; returns the best design point (with runners-up
-    in ``runners_up`` for inspection)."""
+    in ``runners_up`` for inspection).
+
+    The cached / pruned / parallel paths all reproduce the brute-force
+    selection exactly — including the ``top_k`` runner-up ranking — so
+    ``DseOptions(use_cache=False, prune=False, jobs=1)`` is only useful
+    as the reference the benchmarks compare against.
+    ``options.use_cache=False`` disables memoization even when a shared
+    ``cache`` is supplied.  ``candidates`` may carry a pre-enumerated
+    Step-1 result (it must match ``explore_hardware(device, options)``).
+    """
     options = options or DseOptions()
     if cal is None:
         cal = get_calibration(device.name)
-    candidates = explore_hardware(device, options, cal)
-    scored: List[Tuple[float, HardwareCandidate, NetworkMapping,
+    if not options.use_cache:
+        cache = None
+    elif cache is None:
+        cache = EvaluationCache()
+    stats_before = cache.stats if cache is not None else None
+    if candidates is None:
+        candidates = explore_hardware(device, options, cal)
+
+    bounds: Optional[List[float]] = None
+    if options.prune or options.best_first:
+        bounds = _candidate_bounds(
+            candidates, device, network, options.objective
+        )
+    order = list(range(len(candidates)))
+    if options.best_first:
+        assert bounds is not None
+        order.sort(key=lambda index: bounds[index])
+
+    # item: (objective, enumeration index, candidate, mapping, estimate)
+    scored: List[Tuple[float, int, HardwareCandidate, NetworkMapping,
                        NetworkEstimate]] = []
-    for candidate in candidates:
+    worst_of_top_k: List[float] = []  # max-heap (negated) of size <= top_k
+    pruned = 0
+
+    def kth_best() -> float:
+        if len(worst_of_top_k) < options.top_k:
+            return math.inf
+        return -worst_of_top_k[0]
+
+    def prunable(index: int) -> bool:
+        # Strict inequality: a candidate tying the k-th best objective
+        # could still displace it on enumeration order, so it must be
+        # evaluated for the ranking to stay byte-identical.
+        return options.prune and bounds[index] > kth_best()
+
+    def evaluate(index: int):
+        candidate = candidates[index]
         try:
             mapping, estimate = map_network(
-                candidate.cfg, device, network, cal
+                candidate.cfg, device, network, cal, cache=cache
             )
         except DseError:
-            continue
-        scored.append(
-            (_objective(estimate, options.objective), candidate, mapping,
-             estimate)
-        )
+            return None
+        objective = _objective(estimate, options.objective)
+        return (objective, index, candidate, mapping, estimate)
+
+    def admit(item) -> None:
+        scored.append(item)
+        objective = item[0]
+        if len(worst_of_top_k) < options.top_k:
+            heapq.heappush(worst_of_top_k, -objective)
+        elif objective < -worst_of_top_k[0]:
+            heapq.heapreplace(worst_of_top_k, -objective)
+
+    if options.jobs > 1:
+        batch = max(2 * options.jobs, 1)
+        with ThreadPoolExecutor(max_workers=options.jobs) as pool:
+            for start in range(0, len(order), batch):
+                submitted = []
+                for index in order[start:start + batch]:
+                    if prunable(index):
+                        pruned += 1
+                        continue
+                    submitted.append(pool.submit(evaluate, index))
+                for future in submitted:
+                    item = future.result()
+                    if item is not None:
+                        admit(item)
+    else:
+        for index in order:
+            if prunable(index):
+                pruned += 1
+                continue
+            item = evaluate(index)
+            if item is not None:
+                admit(item)
+
     if not scored:
         raise DseError(
             f"no candidate can run {network.name!r} on {device.name}"
         )
-    scored.sort(key=lambda item: item[0])
+    # (objective, enumeration index) replicates the stable sort of the
+    # brute-force path regardless of evaluation order.
+    scored.sort(key=lambda item: (item[0], item[1]))
+    run_stats = (
+        cache.stats - stats_before if cache is not None else None
+    )
 
     def to_result(item, runners=()) -> DseResult:
-        _, candidate, mapping, estimate = item
+        _, _, candidate, mapping, estimate = item
         return DseResult(
             device_name=device.name,
             cfg=candidate.cfg,
@@ -158,6 +325,9 @@ def run_dse(
             total=candidate.total,
             candidates_considered=len(candidates),
             runners_up=tuple(runners),
+            candidates_evaluated=len(scored),
+            candidates_pruned=pruned,
+            cache_stats=run_stats,
         )
 
     runners = [to_result(item) for item in scored[1 : options.top_k]]

@@ -23,9 +23,22 @@ from repro.fpga.resources import ResourceBudget
 PARALLEL_FACTORS = (1, 2, 4, 8, 16, 32)
 
 
+#: Ranking objectives understood by Step 3.
+OBJECTIVES = ("throughput", "latency")
+
+
 @dataclass(frozen=True)
 class DseOptions:
-    """Knobs of the exploration."""
+    """Knobs of the exploration.
+
+    The evaluation knobs (``use_cache``, ``prune``, ``best_first``,
+    ``jobs``) change *how fast* Step 3 runs, never *what* it selects:
+    every combination returns the brute-force design point and runner-up
+    ranking bit for bit.
+
+    Invalid combinations raise :class:`~repro.errors.DseError` at
+    construction time, not deep inside :func:`~repro.dse.engine.run_dse`.
+    """
 
     max_instances: Optional[int] = None
     frequency_mhz: Optional[float] = None  # default: device frequency
@@ -34,6 +47,39 @@ class DseOptions:
     objective: str = "throughput"  # "throughput" | "latency"
     buffer_presets: Optional[Tuple[int, int, int]] = None
     top_k: int = 5
+    use_cache: bool = True  # memoize per-layer estimates
+    prune: bool = True  # skip candidates that cannot reach the top_k
+    best_first: bool = False  # evaluate in lower-bound order
+    jobs: int = 1  # parallel candidate evaluations
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise DseError(
+                f"unknown objective {self.objective!r}; "
+                f"expected one of {OBJECTIVES}"
+            )
+        if self.top_k < 1:
+            raise DseError(f"top_k must be >= 1, got {self.top_k}")
+        if self.max_instances is not None and self.max_instances < 1:
+            raise DseError(
+                f"max_instances must be >= 1, got {self.max_instances}"
+            )
+        if self.jobs < 1:
+            raise DseError(f"jobs must be >= 1, got {self.jobs}")
+        if self.frequency_mhz is not None and self.frequency_mhz <= 0:
+            raise DseError(
+                f"frequency_mhz must be positive, got {self.frequency_mhz}"
+            )
+        if self.data_width <= 0 or self.weight_width <= 0:
+            raise DseError("data/weight widths must be positive")
+        if self.buffer_presets is not None and (
+            len(self.buffer_presets) != 3
+            or any(size <= 0 for size in self.buffer_presets)
+        ):
+            raise DseError(
+                "buffer_presets must be three positive sizes "
+                f"(input, weight, output), got {self.buffer_presets!r}"
+            )
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ at ``FREQ``.  ``GK`` weight groups follow from the weight-buffer sizing
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List
 
 from repro.arch.params import AcceleratorConfig
@@ -54,18 +55,24 @@ class LayerEstimate:
 
 @dataclass(frozen=True)
 class NetworkEstimate:
-    """Whole-network analytical estimate."""
+    """Whole-network analytical estimate.
+
+    ``latency`` and ``ops`` are O(layers) sums that sit inside DSE sort
+    keys and objectives, so they are computed once per instance
+    (``cached_property`` writes straight into ``__dict__``, which the
+    frozen dataclass permits).
+    """
 
     network_name: str
     layers: List[LayerEstimate]
     instances: int
 
-    @property
+    @cached_property
     def latency(self) -> float:
         """End-to-end latency of one image (seconds, Table-2 objective)."""
         return sum(layer.latency for layer in self.layers)
 
-    @property
+    @cached_property
     def ops(self) -> int:
         return sum(layer.ops for layer in self.layers)
 
@@ -131,15 +138,23 @@ def estimate_layer(
     dataflow: str,
     cal: CalibrationProfile = None,
     fused_pool: int = 1,
+    partition=None,
 ) -> LayerEstimate:
     """Eq. 12-15: one layer's latency under (mode, dataflow).
 
     ``T_penalty`` models the un-hidable prologue (first strip + first
     weight group loads), epilogue (last save) and per-group DDR/pipeline
     overheads — the effects the max() of Eq. 12-15 abstracts away.
+
+    ``partition`` may carry a precomputed
+    :class:`~repro.mapping.partition.LayerPartition` for this
+    (layer, cfg, mode, fused_pool) — the group geometry is independent of
+    the dataflow, data widths, clock and instance count, so the
+    evaluation cache shares it across those dimensions.
     """
     del cal  # latency is calibration-free; kept for signature symmetry
-    partition = partition_layer(cfg, info, mode, fused_pool)
+    if partition is None:
+        partition = partition_layer(cfg, info, mode, fused_pool)
     if dataflow == "is" and partition.n_c_groups > 1:
         # IS keeps a whole strip resident across all weight groups, which
         # is impossible once the channel depth is chunked (GC > 1); the
@@ -196,17 +211,25 @@ def estimate_network(
     network: Network,
     mapping: NetworkMapping,
     cal: CalibrationProfile = None,
+    cache=None,
 ) -> NetworkEstimate:
-    """Sum of per-layer estimates — the Table-2 objective."""
+    """Sum of per-layer estimates — the Table-2 objective.
+
+    ``cache`` is an optional :class:`repro.pipeline.cache.EvaluationCache`
+    (accepted duck-typed to keep the estimator import-free of the
+    pipeline layer); the DSE threads one through so re-estimating the
+    selected mapping costs dictionary lookups, not model evaluations.
+    """
     if cal is None:
         cal = get_calibration(device.name)
+    estimate_fn = cache.estimate if cache is not None else estimate_layer
     mapping.validate_against(network)
     layers = []
     for info in network.compute_layers():
         m = mapping.for_layer(info.layer.name)
         pool = fused_pool_for(network, info.index)
         layers.append(
-            estimate_layer(cfg, device, info, m.mode, m.dataflow, cal, pool)
+            estimate_fn(cfg, device, info, m.mode, m.dataflow, cal, pool)
         )
     return NetworkEstimate(
         network_name=network.name, layers=layers, instances=cfg.instances

@@ -2,23 +2,25 @@
 
 ``paper_config`` returns the exact VGG16 case-study configurations
 (which the DSE also discovers on its own — checked by the vgg16_case
-experiment); ``simulate_network`` compiles and runs a network on the
-cycle-approximate simulator, returning the merged timing.
+experiment); ``paper_session`` wraps one in a
+:class:`~repro.pipeline.session.PipelineSession` pinned to that
+configuration; ``simulate_network`` compiles and runs a network on the
+cycle-approximate simulator, returning the merged timing.  All three
+feed the same session facade, so every experiment shares the
+calibration-resolved, cached evaluation pipeline.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Tuple
 
-import numpy as np
-
 from repro.arch.params import AcceleratorConfig
-from repro.compiler import CompilerOptions, compile_network
+from repro.compiler import CompilerOptions
 from repro.errors import DeviceError
 from repro.fpga import FpgaDevice, get_device
 from repro.ir.graph import Network
 from repro.mapping.strategy import NetworkMapping
-from repro.runtime import HostRuntime, generate_parameters
+from repro.pipeline import EvaluationCache, PipelineSession
 from repro.sim.simulator import SimulationResult
 
 #: Buffer presets (input, weight, output ping-pong halves, in vectors).
@@ -51,6 +53,29 @@ def paper_config(device_name: str) -> Tuple[AcceleratorConfig, FpgaDevice]:
     return cfg, device
 
 
+def paper_session(
+    device_name: str,
+    network: Network,
+    functional: bool = False,
+    cache: Optional[EvaluationCache] = None,
+    seed: int = 2020,
+) -> PipelineSession:
+    """A session pinned to the paper's Section-6.1 configuration.
+
+    ``functional`` selects whether compiled data images are materialised
+    (matching :func:`simulate_network`'s compile options).
+    """
+    cfg, device = paper_config(device_name)
+    return PipelineSession(
+        network,
+        device,
+        cfg=cfg,
+        compiler_options=CompilerOptions(quantize=True, pack_data=functional),
+        cache=cache,
+        seed=seed,
+    )
+
+
 def simulate_network(
     network: Network,
     cfg: AcceleratorConfig,
@@ -61,13 +86,13 @@ def simulate_network(
     seed: int = 2020,
 ) -> SimulationResult:
     """Compile ``network`` and run it through the simulator once."""
-    if params is None:
-        params = generate_parameters(network, seed=seed)
-    options = CompilerOptions(quantize=True, pack_data=functional)
-    compiled = compile_network(network, cfg, mapping, params, options)
-    runtime = HostRuntime(compiled, device, functional=functional)
-    image = np.zeros(network.input_shape.as_tuple())
-    result = runtime.infer(image)
-    if result.sim is None:
-        raise RuntimeError("network produced no accelerator segments")
-    return result.sim
+    session = PipelineSession(
+        network,
+        device,
+        cfg=cfg,
+        mapping=mapping,
+        compiler_options=CompilerOptions(quantize=True, pack_data=functional),
+        params=params,
+        seed=seed,
+    )
+    return session.simulate(functional=functional)

@@ -14,8 +14,7 @@ from typing import List
 
 from repro.analysis.metrics import relative_error
 from repro.analysis.report import Table
-from repro.dse.engine import map_network
-from repro.experiments.common import paper_config, simulate_network
+from repro.experiments.common import paper_session
 from repro.ir import zoo
 
 #: Paper-reported errors for reference.
@@ -35,9 +34,9 @@ def run_estimation_error(devices=("vu9p", "pynq-z1")) -> List[ErrorRow]:
     rows = []
     network = zoo.vgg16()
     for name in devices:
-        cfg, device = paper_config(name)
-        mapping, estimate = map_network(cfg, device, network)
-        sim = simulate_network(network, cfg, device, mapping)
+        session = paper_session(name, network)
+        estimate = session.estimate()
+        sim = session.simulate()
         rows.append(
             ErrorRow(
                 device=name,

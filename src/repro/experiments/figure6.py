@@ -19,12 +19,12 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.analysis.report import Table
-from repro.dse.engine import map_network
 from repro.errors import ReproError
-from repro.estimator import estimate_layer
+from repro.estimator.calibration import get_calibration
 from repro.experiments.common import paper_config, simulate_network
 from repro.ir import zoo
 from repro.mapping.strategy import LayerMapping, NetworkMapping
+from repro.pipeline import EvaluationCache
 
 #: (feature size, channels) progressions of the sweep.  15 points for
 #: the cloud device (x4 kernels = 60 layers), 10 for the embedded one
@@ -63,13 +63,20 @@ class Figure6Point:
         return abs(self.spat_esti_gops - self.spat_real_gops) / self.spat_real_gops
 
 
-def _layer_perf(cfg, device, network, mode: str) -> Tuple[float, float]:
-    """(esti, real) per-instance GOPS for one single-conv network."""
+def _layer_perf(
+    cfg, device, network, mode: str, cal, cache: EvaluationCache
+) -> Tuple[float, float]:
+    """(esti, real) per-instance GOPS for one single-conv network.
+
+    ``cal`` and ``cache`` are resolved once per sweep: the calibration
+    lookup happens a single time and the (mode, dataflow) estimates of
+    repeated sweep shapes are memoized.
+    """
     info = network.compute_layers()[0]
     best: Optional[Tuple[float, str]] = None
     for dataflow in ("is", "ws"):
         try:
-            est = estimate_layer(cfg, device, info, mode, dataflow)
+            est = cache.estimate(cfg, device, info, mode, dataflow, cal)
         except ReproError:
             continue
         if best is None or est.latency < best[0]:
@@ -93,6 +100,8 @@ def run_figure6(
 ) -> List[Figure6Point]:
     """Run the sweep for one device; returns one point per layer."""
     cfg, device = paper_config(device_name)
+    cal = get_calibration(device.name)
+    cache = EvaluationCache()
     if series is None:
         series = CLOUD_SERIES if device.name == "vu9p" else EMBEDDED_SERIES
     points = []
@@ -103,8 +112,10 @@ def run_figure6(
                 channels, channels, feature, kernel, padding=kernel // 2,
                 name=f"sweep_k{kernel}_f{feature}_c{channels}",
             )
-            wino_e, wino_r = _layer_perf(cfg, device, network, "wino")
-            spat_e, spat_r = _layer_perf(cfg, device, network, "spat")
+            wino_e, wino_r = _layer_perf(cfg, device, network, "wino",
+                                         cal, cache)
+            spat_e, spat_r = _layer_perf(cfg, device, network, "spat",
+                                         cal, cache)
             points.append(
                 Figure6Point(
                     index=index,

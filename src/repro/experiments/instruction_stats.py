@@ -12,13 +12,10 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.report import Table
-from repro.compiler import CompilerOptions, compile_network
-from repro.dse.engine import map_network
-from repro.experiments.common import paper_config
+from repro.experiments.common import paper_session
 from repro.ir import zoo
 from repro.isa.instructions import Opcode
 from repro.isa.validate import validate_program
-from repro.runtime import generate_parameters
 
 
 @dataclass(frozen=True)
@@ -49,14 +46,8 @@ def run_instruction_stats(
 ) -> ProgramStats:
     """Compile ``model`` for the paper config of ``device_name`` and
     collect the stream statistics."""
-    cfg, device = paper_config(device_name)
-    network = zoo.get_model(model)
-    mapping, _ = map_network(cfg, device, network)
-    params = generate_parameters(network)
-    compiled = compile_network(
-        network, cfg, mapping, params,
-        CompilerOptions(quantize=True, pack_data=False),
-    )
+    session = paper_session(device_name, zoo.get_model(model))
+    compiled = session.compiled()
     by_opcode: Dict[str, int] = {}
     layers: List[LayerStats] = []
     valid = True

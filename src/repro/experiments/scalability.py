@@ -13,11 +13,10 @@ from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.analysis.report import Table
-from repro.dse import run_dse
-from repro.dse.space import DseOptions
 from repro.estimator import estimate_power, estimate_resources
-from repro.fpga import DEVICES, get_device
+from repro.fpga import DEVICES
 from repro.ir import zoo
+from repro.pipeline import PipelineSession
 
 
 @dataclass(frozen=True)
@@ -46,9 +45,12 @@ def run_scalability(
     names = devices or tuple(sorted(DEVICES))
     rows = []
     for name in names:
-        device = get_device(name)
-        result = run_dse(device, network, DseOptions())
-        resources = estimate_resources(result.cfg, device)
+        session = PipelineSession(network, name)
+        device = session.device
+        result = session.dse()
+        resources = estimate_resources(
+            result.cfg, device, session.calibration
+        )
         power = estimate_power(resources, device)
         rows.append(
             ScalabilityRow(

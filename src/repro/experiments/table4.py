@@ -18,12 +18,13 @@ from typing import List, Optional
 from repro.analysis.metrics import dsp_efficiency, energy_efficiency, speedup
 from repro.analysis.report import Table
 from repro.baselines.published import PAPER_RESULTS, PUBLISHED, best_prior
-from repro.dse import run_dse
+from repro.compiler import CompilerOptions
 from repro.dse.space import DseOptions
 from repro.estimator import estimate_power, estimate_resources
-from repro.experiments.common import paper_config, simulate_network
+from repro.experiments.common import paper_session
 from repro.fpga import get_device
 from repro.ir import zoo
+from repro.pipeline import PipelineSession
 
 
 @dataclass(frozen=True)
@@ -51,19 +52,19 @@ def _our_row(device_name: str, use_dse: bool = True) -> Table4Row:
     network = zoo.vgg16()
     if use_dse:
         device = get_device(device_name)
-        dse = run_dse(
-            device, network, DseOptions(frequency_mhz=device.frequency_mhz)
+        session = PipelineSession(
+            network,
+            device,
+            DseOptions(frequency_mhz=device.frequency_mhz),
+            compiler_options=CompilerOptions(quantize=True, pack_data=False),
         )
-        cfg, mapping = dse.cfg, dse.mapping
     else:
-        cfg, device = paper_config(device_name)
-        from repro.dse.engine import map_network
-
-        mapping, _ = map_network(cfg, device, network)
-    sim = simulate_network(network, cfg, device, mapping)
+        session = paper_session(device_name, network)
+    cfg, device = session.cfg, session.device
+    sim = session.simulate()
     ops = sum(i.ops for i in network.compute_layers())
     gops = ops / sim.seconds / 1e9 * cfg.instances
-    resources = estimate_resources(cfg, device)
+    resources = estimate_resources(cfg, device, session.calibration)
     power = estimate_power(resources, device)
     return Table4Row(
         design=f"Ours ({device_name})",

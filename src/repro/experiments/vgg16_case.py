@@ -16,11 +16,12 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.analysis.report import Table
-from repro.dse import DseResult, run_dse
+from repro.dse import DseResult
 from repro.dse.space import DseOptions
 from repro.estimator.resources import instances_per_die
 from repro.fpga import get_device
 from repro.ir import zoo
+from repro.pipeline import PipelineSession
 
 #: The paper's selected configurations.
 PAPER_CHOICE = {
@@ -54,9 +55,10 @@ def run_vgg16_case(devices=("vu9p", "pynq-z1")) -> List[CaseStudyRow]:
     rows = []
     for name in devices:
         device = get_device(name)
-        result = run_dse(
-            device, network, DseOptions(frequency_mhz=device.frequency_mhz)
+        session = PipelineSession(
+            network, device, DseOptions(frequency_mhz=device.frequency_mhz)
         )
+        result = session.dse()
         conv_names = {i.layer.name for i in network.conv_layers()}
         conv_wino = sum(
             1

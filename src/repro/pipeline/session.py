@@ -1,0 +1,269 @@
+"""The shared evaluation session: one network, one device, one cache.
+
+Before this facade existed, ``cli.py``, every experiment and every
+example re-implemented the same glue: resolve the device, look up the
+calibration profile, run the DSE (or pin the paper configuration), map
+the network, generate parameters, compile, build a host runtime, push a
+probe image through the simulator.  ``PipelineSession`` owns that chain:
+
+    network + device + options  ->  candidates -> design point ->
+    parameters -> compiled model -> runtime -> simulation
+
+Every stage is computed lazily, exactly once, and cached on the session;
+the calibration profile is resolved a single time in ``__init__`` and
+threaded through every downstream call.  A session can be pinned to an
+explicit configuration (and optionally an explicit mapping) to bypass
+the DSE — that is how the paper-configuration experiments share the same
+code path as the DSE-driven ones.
+
+Sessions may share an :class:`~repro.pipeline.cache.EvaluationCache`,
+which is how device sweeps and multi-objective studies avoid
+re-evaluating identical (layer, config) points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.arch.params import AcceleratorConfig
+from repro.dse.engine import DseResult, map_network, run_dse
+from repro.dse.space import DseOptions, explore_hardware
+from repro.errors import ReproError
+from repro.estimator.calibration import get_calibration
+from repro.estimator.latency import NetworkEstimate, estimate_network
+from repro.fpga import get_device
+from repro.fpga.device import FpgaDevice
+from repro.ir.graph import Network
+from repro.mapping.strategy import NetworkMapping
+from repro.pipeline.cache import CacheStats, EvaluationCache
+
+
+class PipelineSession:
+    """Lazily-computed, cached artifacts of one (network, device) pair.
+
+    Parameters
+    ----------
+    network:
+        A :class:`Network`, or a zoo model name / model-JSON path.
+    device:
+        An :class:`FpgaDevice`, or an FPGA catalog name.
+    options:
+        DSE knobs; defaults to :class:`DseOptions()`.
+    cfg:
+        Pin the accelerator configuration instead of running the DSE.
+    mapping:
+        Pin the per-layer mapping (requires ``cfg``); otherwise Step 2
+        derives the best mapping for the pinned/selected configuration.
+    compiler_options:
+        Forwarded to :func:`repro.compiler.compile_network`.
+    params:
+        Pre-generated parameter dict; defaults to
+        ``generate_parameters(network, seed=seed)`` on first use.
+    seed:
+        Parameter-generation seed (ignored when ``params`` is given).
+    cache:
+        Shared :class:`EvaluationCache`; a fresh one is created if
+        omitted.  Pass one cache to several sessions to share layer
+        estimates across scenarios.
+    """
+
+    def __init__(
+        self,
+        network: Union[Network, str],
+        device: Union[FpgaDevice, str],
+        options: Optional[DseOptions] = None,
+        cfg: Optional[AcceleratorConfig] = None,
+        mapping: Optional[NetworkMapping] = None,
+        compiler_options=None,
+        params: Optional[Dict[str, np.ndarray]] = None,
+        seed: int = 2020,
+        cache: Optional[EvaluationCache] = None,
+    ):
+        if isinstance(device, str):
+            device = get_device(device)
+        if isinstance(network, str):
+            network = _load_network(network)
+        if mapping is not None and cfg is None:
+            raise ReproError(
+                "a pinned mapping requires a pinned cfg "
+                "(otherwise the DSE would pick a different one)"
+            )
+        self.network = network
+        self.device = device
+        self.options = options or DseOptions()
+        #: Calibration resolved once per session, threaded through every
+        #: map/estimate/DSE call (no per-call registry lookups).
+        self.calibration = get_calibration(device.name)
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.compiler_options = compiler_options
+        self.seed = seed
+        self._cfg = cfg
+        self._mapping = mapping
+        self._params = params
+        self._candidates = None
+        self._dse: Optional[DseResult] = None
+        self._estimate: Optional[NetworkEstimate] = None
+        self._compiled = None
+        self._runtimes: Dict[bool, object] = {}
+        self._sim_results: Dict[bool, object] = {}
+
+    # -- design-point stages --------------------------------------------
+
+    def candidates(self):
+        """Step 1: the feasible hardware candidates (cached)."""
+        if self._candidates is None:
+            self._candidates = explore_hardware(
+                self.device, self.options, self.calibration
+            )
+        return self._candidates
+
+    def dse(self) -> DseResult:
+        """Steps 2+3: the selected design point (cached).
+
+        Raises :class:`~repro.errors.ReproError` when the session was
+        pinned to an explicit configuration — the DSE result would
+        silently disagree with the pinned design.
+        """
+        if self._cfg is not None:
+            raise ReproError(
+                "session is pinned to an explicit cfg; dse() would select "
+                "a different design — use .cfg/.mapping()/.estimate()"
+            )
+        if self._dse is None:
+            self._dse = run_dse(
+                self.device,
+                self.network,
+                self.options,
+                cal=self.calibration,
+                cache=self.cache,
+                candidates=self.candidates(),
+            )
+        return self._dse
+
+    @property
+    def cfg(self) -> AcceleratorConfig:
+        """The pinned or DSE-selected accelerator configuration."""
+        if self._cfg is not None:
+            return self._cfg
+        return self.dse().cfg
+
+    def mapping(self) -> NetworkMapping:
+        """Per-layer (mode, dataflow) selection for :attr:`cfg`."""
+        if self._mapping is None:
+            if self._cfg is None:
+                self._mapping = self.dse().mapping
+            else:
+                self._mapping, self._estimate = map_network(
+                    self._cfg,
+                    self.device,
+                    self.network,
+                    self.calibration,
+                    cache=self.cache,
+                )
+        return self._mapping
+
+    def estimate(self) -> NetworkEstimate:
+        """Analytical network estimate for :attr:`cfg` + :meth:`mapping`."""
+        if self._estimate is None:
+            if self._cfg is None:
+                self._estimate = self.dse().estimate
+            else:
+                mapping = self.mapping()
+                if self._estimate is None:  # pinned mapping path
+                    self._estimate = estimate_network(
+                        self._cfg,
+                        self.device,
+                        self.network,
+                        mapping,
+                        self.calibration,
+                        self.cache,
+                    )
+        return self._estimate
+
+    # -- deployment stages ----------------------------------------------
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Model parameters (generated once from :attr:`seed`)."""
+        if self._params is None:
+            from repro.runtime.params import generate_parameters
+
+            self._params = generate_parameters(self.network, seed=self.seed)
+        return self._params
+
+    def compiled(self):
+        """The compiled model for the selected design point (cached)."""
+        if self._compiled is None:
+            from repro.compiler import compile_network
+
+            self._compiled = compile_network(
+                self.network,
+                self.cfg,
+                self.mapping(),
+                self.parameters(),
+                self.compiler_options,
+            )
+        return self._compiled
+
+    def runtime(self, functional: bool = True):
+        """A :class:`~repro.runtime.host.HostRuntime` (one per mode)."""
+        if functional not in self._runtimes:
+            from repro.runtime.host import HostRuntime
+
+            self._runtimes[functional] = HostRuntime.from_session(
+                self, functional=functional
+            )
+        return self._runtimes[functional]
+
+    def infer(self, image: np.ndarray, functional: bool = True):
+        """Run one image through the deployed design."""
+        return self.runtime(functional).infer(image)
+
+    def simulate(self, functional: bool = False):
+        """Cycle-approximate simulation of one (zero) probe image.
+
+        The timing of the folded accelerator is data-independent, so the
+        probe result is cached per ``functional`` mode.
+        """
+        if functional not in self._sim_results:
+            image = np.zeros(self.network.input_shape.as_tuple())
+            result = self.infer(image, functional=functional)
+            if result.sim is None:
+                raise ReproError(
+                    f"{self.network.name}: no accelerator segments to "
+                    "simulate"
+                )
+            self._sim_results[functional] = result.sim
+        return self._sim_results[functional]
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Cumulative cache counters of this session's cache."""
+        return self.cache.stats
+
+    def describe(self) -> str:
+        state = "pinned" if self._cfg is not None else "dse"
+        return (
+            f"PipelineSession({self.network.name} on {self.device.name}, "
+            f"{state} cfg, cache {self.cache_stats.describe()})"
+        )
+
+
+def _load_network(spec: str) -> Network:
+    """Resolve a zoo model name or a model-JSON path."""
+    from pathlib import Path
+
+    from repro.ir import load_network, zoo
+
+    if spec in zoo.MODELS:
+        return zoo.get_model(spec)
+    path = Path(spec)
+    if path.exists():
+        return load_network(path)
+    raise ReproError(
+        f"unknown model {spec!r}: not in the zoo {sorted(zoo.MODELS)} "
+        "and no such file"
+    )

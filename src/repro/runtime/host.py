@@ -40,6 +40,19 @@ class InferenceResult:
 class HostRuntime:
     """Deploy ``compiled`` on ``device`` and run images through it."""
 
+    @classmethod
+    def from_session(cls, session, functional: bool = True, **kwargs):
+        """Deploy a :class:`~repro.pipeline.session.PipelineSession`.
+
+        The session supplies the compiled model and device (duck-typed
+        so this module stays independent of the pipeline layer); extra
+        keyword arguments reach ``__init__`` unchanged.
+        """
+        return cls(
+            session.compiled(), session.device, functional=functional,
+            **kwargs,
+        )
+
     def __init__(
         self,
         compiled: CompiledModel,
