@@ -1,5 +1,5 @@
 """Benchmark: full-sweep DSE wall-clock and cache hit rate, seed vs
-pipeline.
+pipeline vs warm on-disk store.
 
 The sweep is the VGG16 tradeoff study on VU9P: the full 621-candidate
 space explored once per objective (throughput, then latency) — the
@@ -7,12 +7,17 @@ many-scenario pattern the unified pipeline exists for.  The *seed* path
 is the brute-force configuration (no cache, no pruning); the *pipeline*
 path shares one :class:`~repro.pipeline.cache.EvaluationCache` across
 the two runs and enables lower-bound pruning with best-first ordering.
+The *store* path repeats the sweep in a fresh cache warmed from an
+:class:`~repro.pipeline.store.EvaluationStore` flushed by a cold run —
+the repeated-fleet workload persistent caching exists for.
 
 Checked claims:
 
 * the pipeline selects the byte-identical design point per objective;
 * >= 3x wall-clock speedup over the seed path;
-* >= 50% cache hit rate across the sweep.
+* >= 50% cache hit rate across the sweep;
+* a store-warmed repeat reports > 90% estimate-level hit rate and the
+  byte-identical selection of the cold brute-force run.
 """
 
 import time
@@ -21,7 +26,7 @@ from repro.dse import run_dse
 from repro.dse.space import DseOptions
 from repro.fpga import get_device
 from repro.ir import zoo
-from repro.pipeline import EvaluationCache
+from repro.pipeline import EvaluationCache, EvaluationStore
 
 OBJECTIVES = ("throughput", "latency")
 
@@ -91,3 +96,69 @@ def test_dse_cache_speedup(benchmark, once, capsys):
     # Acceptance: >= 3x wall-clock, >= 50% cache hit rate.
     assert speedup >= 3.0, f"speedup {speedup:.2f}x < 3x"
     assert stats.hit_rate >= 0.5, f"hit rate {stats.hit_rate:.2%} < 50%"
+
+
+def test_dse_store_warm_sweep(tmp_path, once, benchmark, capsys):
+    """Repeat the two-objective sweep out of a warm on-disk store."""
+    device = get_device("vu9p")
+    network = zoo.vgg16()
+    store = EvaluationStore(tmp_path / "cache")
+
+    # Cold run: evaluate everything once, flush the delta to disk.
+    cold_cache = EvaluationCache()
+    start = time.perf_counter()
+    cold = _sweep_pipeline(device, network, cold_cache)
+    cold_seconds = time.perf_counter() - start
+    flushed = store.flush(cold_cache)
+
+    # Warm run: a fresh cache in a "new invocation", warmed from disk.
+    warm_cache = EvaluationCache()
+    store.warm(warm_cache)
+    start = time.perf_counter()
+    warm = once(benchmark, _sweep_pipeline, device, network, warm_cache)
+    warm_seconds = time.perf_counter() - start
+
+    stats = warm_cache.stats
+    with capsys.disabled():
+        print()
+        print("VGG16 warm-store sweep on vu9p")
+        print(f"  cold (empty cache): {cold_seconds * 1e3:8.1f} ms, "
+              f"{flushed} entries flushed")
+        print(f"  warm (from store):  {warm_seconds * 1e3:8.1f} ms "
+              f"({cold_seconds / warm_seconds:.1f}x)")
+        print(f"  cache: {stats.describe()}")
+        print(f"  {store.describe()}")
+
+    # Identical selection, served almost entirely from the store.
+    for objective in OBJECTIVES:
+        assert _design_point(warm[objective]) == _design_point(
+            cold[objective]
+        ), objective
+    assert stats.estimate_hit_rate > 0.9, (
+        f"warm estimate hit rate {stats.estimate_hit_rate:.2%} <= 90%"
+    )
+
+
+def test_dse_process_executor_equivalence(capsys):
+    """executor="process" reproduces the brute-force VGG16 selection."""
+    device = get_device("vu9p")
+    network = zoo.vgg16()
+    options = DseOptions(frequency_mhz=device.frequency_mhz,
+                         use_cache=False, prune=False)
+    seed = run_dse(device, network, options)
+    start = time.perf_counter()
+    proc = run_dse(
+        device, network,
+        DseOptions(frequency_mhz=device.frequency_mhz, best_first=True,
+                   jobs=2, executor="process"),
+    )
+    seconds = time.perf_counter() - start
+    with capsys.disabled():
+        print()
+        print(f"VGG16 process-executor sweep on vu9p: {seconds * 1e3:.1f} ms,"
+              f" evaluated {proc.candidates_evaluated}, pruned "
+              f"{proc.candidates_pruned} of {proc.candidates_considered}")
+    assert _design_point(proc) == _design_point(seed)
+    assert [_design_point(r) for r in proc.runners_up] == [
+        _design_point(r) for r in seed.runners_up
+    ]

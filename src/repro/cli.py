@@ -13,6 +13,11 @@ Commands mirror the framework's steps:
 All model-evaluating commands share one
 :class:`~repro.pipeline.session.PipelineSession`, so the DSE result,
 compiled model and runtime are each computed once per invocation.
+With ``--cache-dir`` the session is backed by an on-disk
+:class:`~repro.pipeline.store.EvaluationStore`: layer estimates warm
+from disk at startup and the newly computed delta is flushed when the
+command finishes, so repeated invocations over the model zoo skip the
+analytical model almost entirely.
 """
 
 from __future__ import annotations
@@ -22,7 +27,7 @@ import sys
 from pathlib import Path
 
 from repro.compiler import CompilerOptions
-from repro.dse.space import DseOptions
+from repro.dse.space import EXECUTORS, OBJECTIVES, DseOptions
 from repro.errors import ReproError
 from repro.estimator import estimate_resources
 from repro.fpga import DEVICES, get_device
@@ -59,6 +64,7 @@ def _session(args) -> PipelineSession:
         max_instances=args.max_instances,
         top_k=getattr(args, "top_k", 5),
         jobs=getattr(args, "jobs", 1),
+        executor=getattr(args, "executor", "serial"),
     )
     return PipelineSession(
         args.model,
@@ -66,33 +72,38 @@ def _session(args) -> PipelineSession:
         options,
         compiler_options=CompilerOptions(quantize=not args.exact),
         seed=args.seed,
+        store=args.cache_dir,
     )
 
 
 def _cmd_dse(args) -> int:
-    session = _session(args)
-    result = session.dse()
-    print(result.summary())
-    util = result.total.utilisation(session.device.resources)
-    print("utilisation: " + ", ".join(
-        f"{k} {v * 100:.1f}%" for k, v in util.items()
-    ))
-    if args.verbose:
-        print("\nper-layer mapping:")
-        for m in result.mapping:
-            print(f"  {m.layer_name:14s} {m.mode}-{m.dataflow}")
-        print(
-            f"\nevaluated {result.candidates_evaluated}, pruned "
-            f"{result.candidates_pruned} of {result.candidates_considered} "
-            "candidates"
-        )
-        if result.cache_stats is not None:
-            print(f"cache: {result.cache_stats.describe()}")
+    with _session(args) as session:
+        result = session.dse()
+        print(result.summary())
+        util = result.total.utilisation(session.device.resources)
+        print("utilisation: " + ", ".join(
+            f"{k} {v * 100:.1f}%" for k, v in util.items()
+        ))
+        if args.verbose:
+            print("\nper-layer mapping:")
+            for m in result.mapping:
+                print(f"  {m.layer_name:14s} {m.mode}-{m.dataflow}")
+            print(
+                f"\nevaluated {result.candidates_evaluated}, pruned "
+                f"{result.candidates_pruned} of "
+                f"{result.candidates_considered} candidates"
+            )
+            if result.cache_stats is not None:
+                print(f"cache: {result.cache_stats.describe()}")
+            if session.store is not None:
+                session.close()  # flush before reporting the counters
+                print(session.store.describe())
     return 0
 
 
 def _cmd_compile(args) -> int:
-    compiled = _session(args).compiled()
+    with _session(args) as session:
+        compiled = session.compiled()
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
     for index, program in enumerate(compiled.programs()):
@@ -107,9 +118,9 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    session = _session(args)
-    network = session.network
-    sim = session.simulate(functional=args.functional)
+    with _session(args) as session:
+        network = session.network
+        sim = session.simulate(functional=args.functional)
     ops = sum(i.ops for i in network.compute_layers())
     print(
         f"{network.name} on {session.device.name}: "
@@ -123,13 +134,13 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_emit_hls(args) -> int:
-    session = _session(args)
-    files = emit_project(
-        HlsConfig.from_config(
-            session.cfg, session.device, session.network.name
-        ),
-        args.output,
-    )
+    with _session(args) as session:
+        files = emit_project(
+            HlsConfig.from_config(
+                session.cfg, session.device, session.network.name
+            ),
+            args.output,
+        )
     resources = estimate_resources(
         session.cfg, session.device, session.calibration
     )
@@ -194,16 +205,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--model", default="vgg16",
                        help="zoo model name or model JSON path")
         p.add_argument("--objective", default="throughput",
-                       choices=("throughput", "latency"))
+                       choices=OBJECTIVES)
         p.add_argument("--max-instances", type=int, default=None)
         p.add_argument("--seed", type=int, default=2020)
         p.add_argument("--exact", action="store_true",
                        help="disable fixed-point quantisation")
+        p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                       help="persist layer estimates here across "
+                            "invocations (warm start + flush on exit)")
 
     p = sub.add_parser("dse", help="run design space exploration")
     add_common(p)
     p.add_argument("--jobs", type=int, default=1,
                    help="parallel candidate evaluations")
+    p.add_argument("--executor", default="serial",
+                   choices=EXECUTORS,
+                   help="evaluation backend for --jobs > 1 "
+                        "(process scales on GIL builds)")
     p.add_argument("--top-k", type=int, default=5, dest="top_k",
                    help="number of ranked designs to keep")
     p.add_argument("-v", "--verbose", action="store_true")

@@ -16,16 +16,26 @@ brute-force selection bit for bit:
   per-layer T_CP minima``, Eq. 6/7) is admissible, so any candidate whose
   bound cannot beat the current ``top_k``-th objective is skipped without
   affecting the winner *or* the runners-up;
-* **parallelism** — ``DseOptions.jobs`` evaluates candidates on a thread
-  pool; results are re-ranked by (objective, enumeration index), which is
-  exactly the stable order of the serial path.
+* **parallelism** — ``DseOptions.jobs`` evaluates candidates on a
+  thread pool (``executor="thread"``) or ships pickled candidate
+  batches to a process pool (``executor="process"``, the one that
+  scales on GIL builds); either way results are re-ranked by
+  (objective, enumeration index), which is exactly the stable order of
+  the serial path.
+
+The process backend's work unit is a batch of candidate indices; each
+worker holds the (device, network, calibration, candidates) payload from
+its initializer plus a local :class:`EvaluationCache` seeded with the
+parent cache's entries, and returns ``(items, cache delta, stats)`` so
+the parent merges worker-computed entries (and their hit/miss counters)
+back into the shared — possibly store-backed — cache.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -204,6 +214,65 @@ def _candidate_bounds(
     return bounds
 
 
+#: Per-process worker state of ``executor="process"`` (populated by the
+#: pool initializer — ProcessPoolExecutor workers can only receive
+#: one-time state that way, and re-pickling the network and candidate
+#: list per batch would dominate the work).
+_worker_state: dict = {}
+
+
+def _process_worker_init(payload) -> None:
+    """Install the evaluation payload in this pool worker.
+
+    ``payload`` is ``(device, network, cal, candidates, seed_entries)``
+    where ``seed_entries`` is a parent-cache snapshot (or ``None`` when
+    the run is uncached).  The worker cache is warmed from the snapshot,
+    so a store-backed parent hands its persisted entries to every
+    worker for free.
+    """
+    device, network, cal, candidates, seed_entries = payload
+    cache = None
+    if seed_entries is not None:
+        cache = EvaluationCache()
+        cache.warm(*seed_entries)
+    _worker_state.update(
+        device=device,
+        network=network,
+        cal=cal,
+        candidates=candidates,
+        cache=cache,
+    )
+
+
+def _process_evaluate_batch(indices):
+    """Evaluate one batch of candidate indices in a pool worker.
+
+    Returns ``(items, estimates, partitions, stats)``: the feasible
+    ``(index, mapping, estimate)`` triples plus the worker cache's dirty
+    delta and counter delta for this batch (``None`` when uncached).
+    Everything crossing the process boundary is pickleable by value.
+    """
+    device = _worker_state["device"]
+    network = _worker_state["network"]
+    cal = _worker_state["cal"]
+    candidates = _worker_state["candidates"]
+    cache = _worker_state["cache"]
+    before = cache.stats if cache is not None else None
+    items = []
+    for index in indices:
+        try:
+            mapping, estimate = map_network(
+                candidates[index].cfg, device, network, cal, cache=cache
+            )
+        except DseError:
+            continue
+        items.append((index, mapping, estimate))
+    if cache is None:
+        return items, None, None, None
+    estimates, partitions = cache.take_dirty()
+    return items, estimates, partitions, cache.stats - before
+
+
 def run_dse(
     device: FpgaDevice,
     network: Network,
@@ -215,8 +284,9 @@ def run_dse(
     """Full 3-step DSE; returns the best design point (with runners-up
     in ``runners_up`` for inspection).
 
-    The cached / pruned / parallel paths all reproduce the brute-force
-    selection exactly — including the ``top_k`` runner-up ranking — so
+    The cached / pruned / parallel paths (thread *and* process
+    executors) all reproduce the brute-force selection exactly —
+    including the ``top_k`` runner-up ranking — so
     ``DseOptions(use_cache=False, prune=False, jobs=1)`` is only useful
     as the reference the benchmarks compare against.
     ``options.use_cache=False`` disables memoization even when a shared
@@ -280,7 +350,45 @@ def run_dse(
         elif objective < -worst_of_top_k[0]:
             heapq.heapreplace(worst_of_top_k, -objective)
 
-    if options.jobs > 1:
+    if options.jobs > 1 and options.executor == "process":
+        batch = max(2 * options.jobs, 1)
+        payload = (
+            device, network, cal, candidates,
+            cache.snapshot_entries() if cache is not None else None,
+        )
+        with ProcessPoolExecutor(
+            max_workers=options.jobs,
+            initializer=_process_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            for start in range(0, len(order), batch):
+                survivors = []
+                for index in order[start:start + batch]:
+                    if prunable(index):
+                        pruned += 1
+                        continue
+                    survivors.append(index)
+                if not survivors:
+                    continue
+                chunk = -(-len(survivors) // options.jobs)
+                futures = [
+                    pool.submit(
+                        _process_evaluate_batch, survivors[i:i + chunk]
+                    )
+                    for i in range(0, len(survivors), chunk)
+                ]
+                # Merge in submission (enumeration) order so first-writer
+                # cache entries match the serial path's first encounter.
+                for future in futures:
+                    items, estimates, partitions, stats = future.result()
+                    if cache is not None and estimates is not None:
+                        cache.merge(estimates, partitions, stats)
+                    for index, mapping, estimate in items:
+                        admit((
+                            _objective(estimate, options.objective),
+                            index, candidates[index], mapping, estimate,
+                        ))
+    elif options.jobs > 1:
         batch = max(2 * options.jobs, 1)
         with ThreadPoolExecutor(max_workers=options.jobs) as pool:
             for start in range(0, len(order), batch):

@@ -26,13 +26,17 @@ PARALLEL_FACTORS = (1, 2, 4, 8, 16, 32)
 #: Ranking objectives understood by Step 3.
 OBJECTIVES = ("throughput", "latency")
 
+#: Execution backends for ``jobs > 1`` candidate evaluation.
+EXECUTORS = ("serial", "thread", "process")
+
 
 @dataclass(frozen=True)
 class DseOptions:
     """Knobs of the exploration.
 
     The evaluation knobs (``use_cache``, ``prune``, ``best_first``,
-    ``jobs``) change *how fast* Step 3 runs, never *what* it selects:
+    ``jobs``, ``executor``) change *how fast* Step 3 runs, never *what*
+    it selects:
     every combination returns the brute-force design point and runner-up
     ranking bit for bit.
 
@@ -51,8 +55,20 @@ class DseOptions:
     prune: bool = True  # skip candidates that cannot reach the top_k
     best_first: bool = False  # evaluate in lower-bound order
     jobs: int = 1  # parallel candidate evaluations
+    #: "serial" | "thread" | "process" — how ``jobs > 1`` evaluations
+    #: run.  "serial" with ``jobs > 1`` auto-upgrades to "thread" (the
+    #: pre-executor behaviour); "process" ships pickled candidate
+    #: batches to a ProcessPoolExecutor, which scales on GIL builds.
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
+        if self.executor not in EXECUTORS:
+            raise DseError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTORS}"
+            )
+        if self.jobs > 1 and self.executor == "serial":
+            object.__setattr__(self, "executor", "thread")
         if self.objective not in OBJECTIVES:
             raise DseError(
                 f"unknown objective {self.objective!r}; "

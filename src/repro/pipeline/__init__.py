@@ -1,9 +1,10 @@
-"""Unified evaluation pipeline (cache + session facade).
+"""Unified evaluation pipeline (cache + store + session facade).
 
 ``EvaluationCache`` memoizes the per-layer analytical model;
-``PipelineSession`` chains candidates -> design point -> compiled model
--> runtime behind one lazily-evaluated object shared by the CLI, the
-experiments and the examples.
+``EvaluationStore`` persists those memos on disk across processes and
+invocations; ``PipelineSession`` chains candidates -> design point ->
+compiled model -> runtime behind one lazily-evaluated object shared by
+the CLI, the experiments and the examples.
 
 Exports are resolved lazily: :mod:`repro.dse.engine` imports the cache
 from this package while :mod:`repro.pipeline.session` imports the engine,
@@ -16,7 +17,9 @@ from __future__ import annotations
 __all__ = [
     "CacheStats",
     "EvaluationCache",
+    "EvaluationStore",
     "PipelineSession",
+    "StoreStats",
     "layer_signature",
 ]
 
@@ -24,6 +27,8 @@ _EXPORTS = {
     "CacheStats": "repro.pipeline.cache",
     "EvaluationCache": "repro.pipeline.cache",
     "layer_signature": "repro.pipeline.cache",
+    "EvaluationStore": "repro.pipeline.store",
+    "StoreStats": "repro.pipeline.store",
     "PipelineSession": "repro.pipeline.session",
 }
 

@@ -18,11 +18,17 @@ code path as the DSE-driven ones.
 
 Sessions may share an :class:`~repro.pipeline.cache.EvaluationCache`,
 which is how device sweeps and multi-objective studies avoid
-re-evaluating identical (layer, config) points.
+re-evaluating identical (layer, config) points.  A session may also be
+backed by an on-disk :class:`~repro.pipeline.store.EvaluationStore`
+(``store=`` path or store instance): the cache is warmed from the store
+at construction and the computed delta is flushed back by
+:meth:`PipelineSession.close` — use the session as a context manager to
+get both ends for free.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, Optional, Union
 
 import numpy as np
@@ -38,6 +44,7 @@ from repro.fpga.device import FpgaDevice
 from repro.ir.graph import Network
 from repro.mapping.strategy import NetworkMapping
 from repro.pipeline.cache import CacheStats, EvaluationCache
+from repro.pipeline.store import EvaluationStore
 
 
 class PipelineSession:
@@ -67,6 +74,10 @@ class PipelineSession:
         Shared :class:`EvaluationCache`; a fresh one is created if
         omitted.  Pass one cache to several sessions to share layer
         estimates across scenarios.
+    store:
+        An :class:`EvaluationStore` or a cache-directory path.  The
+        cache is warmed from it immediately; :meth:`close` (or leaving
+        a ``with`` block) flushes the entries this session computed.
     """
 
     def __init__(
@@ -80,6 +91,7 @@ class PipelineSession:
         params: Optional[Dict[str, np.ndarray]] = None,
         seed: int = 2020,
         cache: Optional[EvaluationCache] = None,
+        store: Optional[Union[EvaluationStore, str, Path]] = None,
     ):
         if isinstance(device, str):
             device = get_device(device)
@@ -97,6 +109,11 @@ class PipelineSession:
         #: map/estimate/DSE call (no per-call registry lookups).
         self.calibration = get_calibration(device.name)
         self.cache = cache if cache is not None else EvaluationCache()
+        if isinstance(store, (str, Path)):
+            store = EvaluationStore(store)
+        self.store = store
+        if store is not None:
+            store.warm(self.cache)
         self.compiler_options = compiler_options
         self.seed = seed
         self._cfg = cfg
@@ -236,6 +253,25 @@ class PipelineSession:
                 )
             self._sim_results[functional] = result.sim
         return self._sim_results[functional]
+
+    # -- persistence -----------------------------------------------------
+
+    def close(self) -> int:
+        """Flush the cache's computed delta to the backing store.
+
+        Returns the number of entries persisted (0 without a store or
+        when everything came warm).  Idempotent: a second close flushes
+        only what was computed since the first.
+        """
+        if self.store is None:
+            return 0
+        return self.store.flush(self.cache)
+
+    def __enter__(self) -> "PipelineSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- reporting -------------------------------------------------------
 

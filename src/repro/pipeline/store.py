@@ -1,0 +1,287 @@
+"""Disk persistence for the evaluation cache (warm sweeps over sweeps).
+
+The in-memory :class:`~repro.pipeline.cache.EvaluationCache` dies with
+the process, so repeated CLI invocations over the model zoo — the exact
+workload of ``experiments/*`` and ``benchmarks/*`` — re-derive every
+estimate.  :class:`EvaluationStore` persists both memo levels under the
+*same signatures* the in-memory cache keys on, so a warmed session
+replays a sweep out of dictionary lookups.
+
+On-disk format
+--------------
+
+A store is a *directory* of append-only **segment** files:
+
+* every :meth:`flush` writes the cache's dirty delta as one new segment
+  under a unique name (pid + monotonic counter + random suffix), via
+  write-to-temp + :func:`os.replace` — readers never observe a partial
+  file and concurrent writers never clobber each other because they
+  write distinct segments;
+* :meth:`load` merges every readable segment (first writer of a key
+  wins, in segment-name order).  A segment with a bad magic, failed
+  checksum, truncated payload or mismatched :data:`STORE_VERSION` is
+  *skipped and counted*, never fatal — a cache is always allowed to be
+  cold;
+* :meth:`compact` rewrites the merged contents as a single segment and
+  unlinks the ones it subsumed (concurrent readers tolerate the
+  disappearance: missing files are skipped like corrupt ones).
+
+Each segment is ``MAGIC || crc32(payload) || payload`` where the payload
+pickles ``{"version", "estimates", "partitions"}``.  Pickle is the right
+codec here: keys and values are frozen dataclasses
+(:class:`~repro.arch.params.AcceleratorConfig`,
+:class:`~repro.estimator.latency.LayerEstimate`,
+:class:`~repro.mapping.partition.LayerPartition`,
+:class:`~repro.estimator.calibration.CalibrationProfile`) plus memoized
+:class:`~repro.errors.ReproError` instances, all of which round-trip by
+value.  ``STORE_VERSION`` must be bumped whenever persisted results
+could change meaning: a persisted type or the signature layout changing
+shape, *or any change to the analytical model equations themselves*
+(``repro.estimator``, ``repro.mapping.partition``) — the cache key
+cannot see a coefficient edit, so the version is what keeps a warm
+cache dir from serving estimates of a model that no longer exists.
+Stale entries must be rejected, not deserialized into lies.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+from repro.errors import ReproError
+
+#: Bump on any change to the cache signatures, the pickled value types
+#: OR the analytical model equations (see the module docstring);
+#: readers reject segments written under a different version.
+STORE_VERSION = 1
+
+#: Leading bytes of every segment file.
+MAGIC = b"repro-store\n"
+
+_CRC = struct.Struct("<I")
+_SUFFIX = ".seg"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of one store's load/flush counters.
+
+    ``segments_skipped`` counts unreadable segments (corrupt, truncated,
+    foreign or version-mismatched files) tolerated during a load.
+    """
+
+    segments_loaded: int = 0
+    segments_skipped: int = 0
+    estimates_loaded: int = 0
+    partitions_loaded: int = 0
+    flushes: int = 0
+    estimates_flushed: int = 0
+    partitions_flushed: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.estimates_loaded} estimates + "
+            f"{self.partitions_loaded} partitions from "
+            f"{self.segments_loaded} segment(s) "
+            f"({self.segments_skipped} skipped), "
+            f"{self.estimates_flushed} estimates + "
+            f"{self.partitions_flushed} partitions flushed "
+            f"in {self.flushes} segment(s)"
+        )
+
+
+class EvaluationStore:
+    """A directory of persisted :class:`EvaluationCache` entries.
+
+    Parameters
+    ----------
+    path:
+        The cache directory (created on first use).
+    version:
+        Accepted segment version; defaults to :data:`STORE_VERSION`.
+        Exposed for tests — production callers never pass it.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], version: int = STORE_VERSION
+    ) -> None:
+        self.path = Path(path)
+        if self.path.exists() and not self.path.is_dir():
+            raise ReproError(
+                f"cache dir {self.path} exists and is not a directory"
+            )
+        self.version = version
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._segments_loaded = 0
+        self._segments_skipped = 0
+        self._estimates_loaded = 0
+        self._partitions_loaded = 0
+        self._flushes = 0
+        self._estimates_flushed = 0
+        self._partitions_flushed = 0
+
+    # -- reading ---------------------------------------------------------
+
+    def segments(self):
+        """Current segment paths, in deterministic (name) order."""
+        if not self.path.is_dir():
+            return []
+        return sorted(self.path.glob(f"*{_SUFFIX}"))
+
+    def load(self) -> Tuple[Dict, Dict]:
+        """Merged ``(estimates, partitions)`` of every readable segment.
+
+        First writer of a key wins (segment-name order), matching the
+        in-memory cache's first-writer-wins insert; later duplicates of
+        a key are byte-equivalent anyway because entries are pure
+        functions of their signature.
+        """
+        estimates: Dict = {}
+        partitions: Dict = {}
+        loaded = skipped = 0
+        for segment in self.segments():
+            payload = self._read_segment(segment)
+            if payload is None:
+                skipped += 1
+                continue
+            loaded += 1
+            for key, entry in payload["estimates"].items():
+                estimates.setdefault(key, entry)
+            for key, entry in payload["partitions"].items():
+                partitions.setdefault(key, entry)
+        with self._lock:
+            self._segments_loaded += loaded
+            self._segments_skipped += skipped
+            self._estimates_loaded += len(estimates)
+            self._partitions_loaded += len(partitions)
+        return estimates, partitions
+
+    def warm(self, cache) -> int:
+        """Load the store into ``cache`` (entries added, not counted as
+        hits or dirty); returns the number of entries added."""
+        estimates, partitions = self.load()
+        return cache.warm(estimates, partitions)
+
+    def _read_segment(self, segment: Path):
+        """Decoded payload dict, or ``None`` for anything unreadable."""
+        try:
+            blob = segment.read_bytes()
+        except OSError:
+            return None  # vanished (compaction) or unreadable
+        if not blob.startswith(MAGIC):
+            return None
+        body = blob[len(MAGIC):]
+        if len(body) < _CRC.size:
+            return None
+        (crc,) = _CRC.unpack_from(body)
+        payload = body[_CRC.size:]
+        if zlib.crc32(payload) != crc:
+            return None
+        try:
+            decoded = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(decoded, dict):
+            return None
+        if decoded.get("version") != self.version:
+            return None
+        if not isinstance(decoded.get("estimates"), dict):
+            return None
+        if not isinstance(decoded.get("partitions"), dict):
+            return None
+        return decoded
+
+    # -- writing ---------------------------------------------------------
+
+    def flush(self, cache) -> int:
+        """Persist ``cache``'s dirty delta as one new segment.
+
+        Returns the number of entries written (0 writes no file), so
+        flushing an all-warm cache is free.  If the segment write fails
+        (disk full, permissions) the delta is re-marked dirty so a
+        later flush can still persist it.
+        """
+        estimates, partitions = cache.take_dirty()
+        try:
+            return self.flush_entries(estimates, partitions)
+        except BaseException:
+            cache.mark_dirty(estimates, partitions)
+            raise
+
+    def flush_entries(self, estimates: Dict, partitions: Dict) -> int:
+        """Write one segment holding exactly these entries."""
+        total = len(estimates) + len(partitions)
+        if not total:
+            return 0
+        payload = pickle.dumps(
+            {
+                "version": self.version,
+                "estimates": estimates,
+                "partitions": partitions,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        self.path.mkdir(parents=True, exist_ok=True)
+        name = self._segment_name()
+        tmp = self.path / (name + ".tmp")
+        tmp.write_bytes(MAGIC + _CRC.pack(zlib.crc32(payload)) + payload)
+        os.replace(tmp, self.path / name)
+        with self._lock:
+            self._flushes += 1
+            self._estimates_flushed += len(estimates)
+            self._partitions_flushed += len(partitions)
+        return total
+
+    def compact(self) -> int:
+        """Merge all current segments into one; returns segments removed.
+
+        Safe against concurrent readers (they skip vanished files) but
+        assumes a single compactor — run it from the CLI, not workers.
+        """
+        before = self.segments()
+        if len(before) <= 1:
+            return 0
+        estimates, partitions = self.load()
+        self.flush_entries(estimates, partitions)
+        removed = 0
+        for segment in before:
+            try:
+                segment.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def _segment_name(self) -> str:
+        with self._lock:
+            self._counter += 1
+            counter = self._counter
+        return (
+            f"{os.getpid():08d}-{counter:06d}-"
+            f"{os.urandom(4).hex()}{_SUFFIX}"
+        )
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def stats(self) -> StoreStats:
+        with self._lock:
+            return StoreStats(
+                segments_loaded=self._segments_loaded,
+                segments_skipped=self._segments_skipped,
+                estimates_loaded=self._estimates_loaded,
+                partitions_loaded=self._partitions_loaded,
+                flushes=self._flushes,
+                estimates_flushed=self._estimates_flushed,
+                partitions_flushed=self._partitions_flushed,
+            )
+
+    def describe(self) -> str:
+        return f"store {self.path}: {self.stats.describe()}"
