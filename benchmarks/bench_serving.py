@@ -1,0 +1,105 @@
+"""Benchmark: multi-shard serving throughput and batching behaviour.
+
+The workload is the scaled VGG16 stack (64x64 input, no FC tail) on
+the paper's VU9P configuration — the ``batch_throughput`` example's
+model, small enough that the timing probe simulates in about a second.
+Traffic is open-loop Poisson at 2.5x the *two-shard* pool's analytical
+capacity, so both the 1-shard and the 2-shard runs are service-bound
+and the shard count is the only variable.
+
+Checked claims:
+
+* **uniform closed-loop traffic reproduces the analytical number** —
+  the full batcher/scheduler/shard stack reports makespan throughput
+  within 1% of :class:`~repro.runtime.batch.BatchRunner`'s round-robin
+  accounting (it is the same arithmetic, reached through the serving
+  layer);
+* **two shards give >= 1.8x aggregate GOPS over one** on saturating
+  Poisson traffic (each shard is its own device, so scaling is limited
+  only by the arrival tail);
+* **dynamic batching unlocks intra-shard batch parallelism** — full
+  batches (max_batch = NI) beat per-request dispatch by more than 3x
+  on a 6-instance shard.
+"""
+
+from repro.experiments.common import paper_config
+from repro.compiler import CompilerOptions
+from repro.ir import zoo
+from repro.pipeline import PipelineSession
+from repro.serving import (
+    BatcherOptions,
+    ShardPool,
+    ShardServer,
+    analytical_reference,
+    make_requests,
+)
+
+REQUESTS = 96
+
+
+def _session():
+    cfg, device = paper_config("vu9p")
+    return PipelineSession(
+        zoo.vgg16(input_size=64, include_fc=False),
+        device,
+        cfg=cfg,
+        compiler_options=CompilerOptions(quantize=True, pack_data=False),
+    )
+
+
+def _serve(pool, traffic, qps=None, policy="least-loaded", max_batch=6):
+    requests = make_requests(traffic, REQUESTS, qps=qps)
+    server = ShardServer(pool, policy, BatcherOptions(max_batch=max_batch))
+    return server.serve(requests)
+
+
+def test_serving_scales_and_matches_analytical(benchmark, once, capsys):
+    session = _session()
+    single = ShardPool.replicate(session, 1)
+    double = ShardPool.replicate(session.clone(), 2)
+
+    # Uniform closed loop vs the BatchRunner arithmetic.
+    uniform = _serve(double, "uniform")
+    reference_makespan = analytical_reference(double, REQUESTS)
+    reference_gops = uniform.total_ops / reference_makespan / 1e9
+    ratio = uniform.throughput_gops / reference_gops
+
+    # Poisson at 2.5x the double pool's capacity saturates both pools.
+    qps = 2.5 * double.capacity_images_per_second()
+    one = _serve(single, "poisson", qps=qps)
+    two = once(benchmark, _serve, double, "poisson", qps=qps)
+    scaling = two.throughput_gops / one.throughput_gops
+
+    with capsys.disabled():
+        print()
+        print(f"VGG16-64 serving on vu9p ({REQUESTS} requests, "
+              f"poisson @ {qps:.0f} req/s, max_batch=6)")
+        print(f"  uniform vs BatchRunner: {uniform.throughput_gops:8.1f} "
+              f"vs {reference_gops:8.1f} GOPS (ratio {ratio:.4f})")
+        print(f"  1 shard : {one.throughput_gops:8.1f} GOPS, "
+              f"p99 {one.latency_percentile(99) * 1e3:7.2f} ms")
+        print(f"  2 shards: {two.throughput_gops:8.1f} GOPS, "
+              f"p99 {two.latency_percentile(99) * 1e3:7.2f} ms "
+              f"({scaling:.2f}x)")
+
+    # Acceptance: within 1% of the analytical number; >= 1.8x scaling.
+    assert abs(ratio - 1.0) < 0.01, f"ratio {ratio:.4f} off by >= 1%"
+    assert scaling >= 1.8, f"2-shard scaling {scaling:.2f}x < 1.8x"
+
+
+def test_dynamic_batching_fills_instances(capsys):
+    session = _session()
+    pool = ShardPool.replicate(session, 1)
+    instances = pool.shards[0].instances
+
+    batched = _serve(pool, "uniform", max_batch=instances)
+    singles = _serve(pool, "uniform", max_batch=1)
+    gain = singles.makespan_seconds / batched.makespan_seconds
+
+    with capsys.disabled():
+        print()
+        print(f"  batch={instances}: {batched.throughput_gops:8.1f} GOPS; "
+              f"batch=1: {singles.throughput_gops:8.1f} GOPS "
+              f"({gain:.2f}x from filling the instances)")
+
+    assert gain > 3.0, f"batching gain {gain:.2f}x <= 3x"

@@ -7,6 +7,8 @@ Commands mirror the framework's steps:
 * ``dse`` — explore a model on a device and print the selection.
 * ``compile`` — compile a model and write program.bin / program.asm.
 * ``simulate`` — run the cycle-approximate simulation end to end.
+* ``serve`` — multi-shard batch serving over synthetic traffic.
+* ``cache`` — inspect (``info``) or ``compact`` a ``--cache-dir``.
 * ``emit-hls`` — write the HLS project for a DSE-selected design.
 * ``experiments`` — regenerate a paper table/figure by name.
 
@@ -34,7 +36,7 @@ from repro.fpga import DEVICES, get_device
 from repro.hls import HlsConfig, emit_project
 from repro.ir import zoo
 from repro.isa import disassemble
-from repro.pipeline import PipelineSession
+from repro.pipeline import EvaluationStore, PipelineSession
 
 
 def _cmd_devices(_args) -> int:
@@ -133,6 +135,150 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _serve_session(args) -> PipelineSession:
+    """The session one shard pool replicates.
+
+    Defaults to the paper's pinned Section-6.1 configuration when the
+    device has one (fast, and the config Table 4 reports); ``--dse``,
+    an explicit DSE knob (``--objective`` / ``--max-instances``), or a
+    device without a paper config runs the full DSE instead — a pinned
+    configuration must never silently override what the user asked the
+    DSE to optimise.
+    """
+    from repro.errors import DeviceError
+    from repro.experiments.common import paper_config
+
+    compiler_options = CompilerOptions(quantize=not args.exact,
+                                       pack_data=False)
+    wants_dse = args.dse or (
+        args.objective != "throughput" or args.max_instances is not None
+    )
+    if wants_dse and not args.dse:
+        print("DSE knobs given (--objective/--max-instances): running "
+              "the DSE instead of the paper configuration")
+    if not wants_dse:
+        try:
+            cfg, device = paper_config(args.device)
+            return PipelineSession(
+                args.model, device, cfg=cfg,
+                compiler_options=compiler_options,
+                seed=args.seed, store=args.cache_dir,
+            )
+        except DeviceError:
+            pass  # no paper config for this device: fall back to DSE
+    options = DseOptions(
+        objective=args.objective,
+        max_instances=args.max_instances,
+    )
+    return PipelineSession(
+        args.model, get_device(args.device), options,
+        compiler_options=compiler_options,
+        seed=args.seed, store=args.cache_dir,
+    )
+
+
+def _cmd_serve(args) -> int:
+    from repro.serving import (
+        BatcherOptions,
+        ShardPool,
+        ShardServer,
+        analytical_reference,
+        make_requests,
+    )
+
+    session = _serve_session(args)
+    pool = ShardPool.replicate(session, args.shards)
+    qps = args.qps
+    if qps is None and args.traffic != "uniform":
+        # Auto-saturate: 2x the pool's analytical service rate keeps
+        # every shard busy without drowning the tail in queueing delay.
+        qps = 2.0 * pool.capacity_images_per_second()
+        print(f"qps not given: saturating at {qps:.1f} req/s "
+              "(2x analytical pool capacity)")
+    requests = make_requests(
+        args.traffic, args.requests, qps=qps, seed=args.seed,
+        burst=args.burst,
+    )
+    max_batch = args.max_batch
+    if max_batch is None:
+        # A batch occupies one shard's NI batch-parallel instances, so
+        # the natural batch size is the (largest) instance count: a
+        # bigger batch serialises extra rounds, a smaller one idles
+        # instances.
+        max_batch = max(shard.instances for shard in pool)
+        print(f"max-batch not given: using {max_batch} "
+              "(shard instance count)")
+    server = ShardServer(
+        pool, args.policy,
+        BatcherOptions(max_batch=max_batch,
+                       max_wait_s=args.max_wait_ms * 1e-3),
+    )
+    report = server.serve(requests)
+    print(f"pool ({args.policy}, {args.traffic} traffic):")
+    print(pool.describe())
+    print()
+    print(report.describe())
+    reference = analytical_reference(pool, args.requests)
+    reference_gops = report.total_ops / reference / 1e9
+    ratio = report.throughput_gops / reference_gops
+    print(
+        f"  BatchRunner analytical reference: {reference_gops:.1f} GOPS "
+        f"(serve/reference = {ratio:.3f})"
+    )
+    pool.close()
+    return 0
+
+
+def _cmd_cache_info(args) -> int:
+    store = EvaluationStore(args.dir)
+    summaries, estimates, partitions = store.inspect()
+    if not summaries:
+        print(f"cache dir {store.path}: empty (no segments)")
+        return 0
+    stored = sum(s.entries for s in summaries if s.readable)
+    unreadable = sum(1 for s in summaries if not s.readable)
+    size = sum(s.size_bytes for s in summaries)
+    # A warm load serves exactly the first-writer-wins merge `inspect`
+    # already computed — `unique` entries of the `stored` total.
+    unique = len(estimates) + len(partitions)
+    print(
+        f"cache dir {store.path}: {len(summaries)} segment(s), "
+        f"{size / 1024:.1f} KiB"
+    )
+    print(
+        f"  {len(estimates)} estimate + {len(partitions)} partition "
+        f"entries ({unique} unique of {stored} stored)"
+    )
+    print(
+        f"  warm load: {unique} entries into a fresh cache "
+        f"({unique / stored * 100:.1f}% of stored entries useful)"
+        if stored else "  warm load: nothing readable"
+    )
+    if unreadable:
+        print(f"  {unreadable} unreadable segment(s) skipped")
+    if len(summaries) > 1:
+        print(f"  `repro cache compact {args.dir}` would merge "
+              f"{len(summaries)} segments into 1")
+    return 0
+
+
+def _cmd_cache_compact(args) -> int:
+    store = EvaluationStore(args.dir)
+    before = len(store.segments())
+    removed = store.compact()
+    if removed == 0:
+        print(f"cache dir {store.path}: nothing to compact "
+              f"({before} segment(s))")
+        return 0
+    _, estimates, partitions = store.inspect()
+    print(
+        f"cache dir {store.path}: merged {removed} segments into 1 "
+        f"({len(estimates)} estimate + {len(partitions)} partition "
+        "entries)"
+    )
+    return 0
+
+
 def _cmd_emit_hls(args) -> int:
     with _session(args) as session:
         files = emit_project(
@@ -159,6 +305,7 @@ def _cmd_experiments(args) -> int:
         overhead,
         roofline_study,
         scalability,
+        serving_study,
         table3,
         table4,
         vgg16_case,
@@ -176,6 +323,7 @@ def _cmd_experiments(args) -> int:
         "scalability": scalability.main,
         "roofline": roofline_study.main,
         "instruction-stats": instruction_stats.main,
+        "serving": serving_study.main,
     }
     if args.name not in registry:
         print(f"unknown experiment {args.name!r}; "
@@ -237,6 +385,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--functional", action="store_true",
                    help="move real data (slower)")
     p.set_defaults(func=_cmd_simulate)
+
+    from repro.serving.scheduler import POLICIES
+    from repro.serving.traffic import TRAFFIC_MODELS
+
+    p = sub.add_parser(
+        "serve", help="multi-shard batch serving over synthetic traffic"
+    )
+    add_common(p)
+    p.add_argument("--shards", type=int, default=2,
+                   help="identical shards replicated from one session")
+    p.add_argument("--policy", default="round-robin", choices=POLICIES)
+    p.add_argument("--traffic", default="uniform", choices=TRAFFIC_MODELS)
+    p.add_argument("--requests", type=int, default=64,
+                   help="synthetic requests to serve")
+    p.add_argument("--qps", type=float, default=None,
+                   help="arrival rate for open-loop traffic "
+                        "(default: 2x pool capacity)")
+    p.add_argument("--burst", type=int, default=8,
+                   help="burst size for --traffic burst")
+    p.add_argument("--max-batch", type=int, default=None,
+                   dest="max_batch",
+                   help="dynamic batcher: max requests per batch "
+                        "(default: the shard instance count)")
+    p.add_argument("--max-wait-ms", type=float, default=0.0,
+                   dest="max_wait_ms",
+                   help="dynamic batcher: max wait of the oldest "
+                        "queued request")
+    p.add_argument("--dse", action="store_true",
+                   help="run the DSE instead of the paper configuration")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("cache",
+                       help="inspect / compact an estimate cache dir")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    pc = cache_sub.add_parser(
+        "info", help="segment count, entry counts, warm-load dedup"
+    )
+    pc.add_argument("dir", help="cache directory (--cache-dir elsewhere)")
+    pc.set_defaults(func=_cmd_cache_info)
+    pc = cache_sub.add_parser(
+        "compact", help="merge all segments into one"
+    )
+    pc.add_argument("dir", help="cache directory (--cache-dir elsewhere)")
+    pc.set_defaults(func=_cmd_cache_compact)
 
     p = sub.add_parser("emit-hls", help="emit the HLS project")
     add_common(p)

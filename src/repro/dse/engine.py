@@ -12,10 +12,13 @@ brute-force selection bit for bit:
 * **memoization** — per-layer estimates go through an
   :class:`~repro.pipeline.cache.EvaluationCache`, deduplicating repeated
   layer shapes and the final re-estimate of the selected mapping;
-* **pruning** — a compute-bound lower bound (``latency >= sum of
-  per-layer T_CP minima``, Eq. 6/7) is admissible, so any candidate whose
-  bound cannot beat the current ``top_k``-th objective is skipped without
-  affecting the winner *or* the runners-up;
+* **pruning** — a lower bound over *all four* module times
+  (``latency >= sum of per-layer min-over-modes
+  max(T_CP, T_LDI, T_LDW, T_SV)``, Eq. 6-11) is admissible, so any
+  candidate whose bound cannot beat the current ``top_k``-th objective
+  is skipped without affecting the winner *or* the runners-up — the
+  bandwidth terms prune memory-bound candidates a compute-only bound
+  would have to evaluate;
 * **parallelism** — ``DseOptions.jobs`` evaluates candidates on a
   thread pool (``executor="thread"``) or ships pickled candidate
   batches to a process pool (``executor="process"``, the one that
@@ -156,16 +159,24 @@ def latency_lower_bound(
 ) -> float:
     """Admissible network-latency bound for one candidate (seconds).
 
-    Every (mode, dataflow) latency is ``max(..., T_CP, ...) + T_penalty
-    >= T_CP`` (Eq. 12-15), so summing each layer's cheapest *supported*
-    compute time bounds the achievable latency from below — without
-    partitioning a single layer.
+    Every (mode, dataflow) latency is ``body + T_penalty`` where the
+    body maxes the Eq. 6-11 module times (Eq. 12-15): ``T_CP`` and
+    ``T_SV`` appear directly, and the load terms appear scaled by a
+    group count ``>= 1`` (``T_LDI`` / ``GK * T_LDI``,
+    ``N_rows * T_LDW`` / ``T_LDW``).  Hence for *either* dataflow
+
+        latency >= max(T_CP, T_LDI, T_LDW, T_SV)
+
+    without partitioning a single layer.  Summing each layer's cheapest
+    supported mode bounds the network from below; including the
+    bandwidth terms (not just ``T_CP``) prunes memory-bound candidates
+    that a compute-only bound would have to evaluate.
     """
     total = 0.0
     for info in network.compute_layers():
-        per_mode = [_module_times(cfg, device, info, "spat")[0]]
+        per_mode = [max(_module_times(cfg, device, info, "spat"))]
         if winograd_supported(info):
-            per_mode.append(_module_times(cfg, device, info, "wino")[0])
+            per_mode.append(max(_module_times(cfg, device, info, "wino")))
         total += min(per_mode)
     return total
 
@@ -192,16 +203,21 @@ def _candidate_bounds(
 ) -> List[float]:
     """Objective lower bound per candidate.
 
-    ``T_CP`` depends only on (PI, PO, PT, FREQ), which many candidates
-    share (they differ in buffers / instance count), so the latency
-    bound is memoized on that projection.
+    The module times depend only on (PI, PO, PT, FREQ) plus — for the
+    Eq. 8-11 bandwidth terms — the data widths and the instance count
+    (instances share DRAM bandwidth), so the latency bound is memoized
+    on that projection: candidates differing only in buffer sizes share
+    one entry.
     """
     total_ops = sum(info.ops for info in network.compute_layers())
-    lb_memo: Dict[Tuple[int, int, int, float], float] = {}
+    lb_memo: Dict[Tuple, float] = {}
     bounds = []
     for candidate in candidates:
         cfg = candidate.cfg
-        key = (cfg.pi, cfg.po, cfg.pt, cfg.frequency_mhz)
+        key = (
+            cfg.pi, cfg.po, cfg.pt, cfg.frequency_mhz,
+            cfg.data_width, cfg.weight_width, cfg.instances,
+        )
         lb_latency = lb_memo.get(key)
         if lb_latency is None:
             lb_latency = latency_lower_bound(cfg, device, network)

@@ -47,3 +47,7 @@ class DseError(ReproError):
 
 class RuntimeHostError(ReproError):
     """The host runtime was used incorrectly (missing program/data)."""
+
+
+class ServingError(ReproError):
+    """The serving layer was misconfigured (bad policy, empty pool, ...)."""

@@ -19,6 +19,7 @@ __all__ = [
     "EvaluationCache",
     "EvaluationStore",
     "PipelineSession",
+    "SegmentSummary",
     "StoreStats",
     "layer_signature",
 ]
@@ -28,6 +29,7 @@ _EXPORTS = {
     "EvaluationCache": "repro.pipeline.cache",
     "layer_signature": "repro.pipeline.cache",
     "EvaluationStore": "repro.pipeline.store",
+    "SegmentSummary": "repro.pipeline.store",
     "StoreStats": "repro.pipeline.store",
     "PipelineSession": "repro.pipeline.session",
 }

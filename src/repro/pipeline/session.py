@@ -254,6 +254,45 @@ class PipelineSession:
             self._sim_results[functional] = result.sim
         return self._sim_results[functional]
 
+    # -- multi-shard deployment ------------------------------------------
+
+    def clone(self) -> "PipelineSession":
+        """A cheap deployment twin for multi-shard serving.
+
+        The clone shares every *immutable* artifact this session has
+        already computed — candidates, DSE result, mapping, estimate,
+        parameters and the compiled model — plus the evaluation cache
+        and the resolved calibration, so deploying N shards of one
+        design costs one DSE + one compilation, not N.  It gets fresh
+        runtime / simulation slots because a
+        :class:`~repro.runtime.host.HostRuntime` owns mutable DRAM
+        state that two shards must never share.  Clones are not
+        store-backed: the parent owns the flush, and the shared cache
+        already carries anything a clone computes.
+
+        Artifacts not yet computed are *not* shared retroactively —
+        call :meth:`compiled` before cloning when the shards should
+        reuse one compiled model.
+        """
+        twin = PipelineSession(
+            self.network,
+            self.device,
+            self.options,
+            cfg=self._cfg,
+            mapping=self._mapping if self._cfg is not None else None,
+            compiler_options=self.compiler_options,
+            params=self._params,
+            seed=self.seed,
+            cache=self.cache,
+        )
+        twin.calibration = self.calibration
+        twin._candidates = self._candidates
+        twin._dse = self._dse
+        twin._mapping = self._mapping
+        twin._estimate = self._estimate
+        twin._compiled = self._compiled
+        return twin
+
     # -- persistence -----------------------------------------------------
 
     def close(self) -> int:

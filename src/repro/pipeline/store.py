@@ -52,7 +52,7 @@ import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.errors import ReproError
 
@@ -94,6 +94,21 @@ class StoreStats:
             f"{self.partitions_flushed} partitions flushed "
             f"in {self.flushes} segment(s)"
         )
+
+
+@dataclass(frozen=True)
+class SegmentSummary:
+    """Inspection view of one on-disk segment (``repro cache info``)."""
+
+    name: str
+    size_bytes: int
+    estimates: int
+    partitions: int
+    readable: bool
+
+    @property
+    def entries(self) -> int:
+        return self.estimates + self.partitions
 
 
 class EvaluationStore:
@@ -197,6 +212,53 @@ class EvaluationStore:
         if not isinstance(decoded.get("partitions"), dict):
             return None
         return decoded
+
+    def inspect(self) -> Tuple[List[SegmentSummary], Dict, Dict]:
+        """One-pass ``(summaries, estimates, partitions)`` inspection.
+
+        Each segment is read and decoded exactly once: per-segment
+        counts/sizes land in the summaries while the entries merge
+        first-writer-wins into the returned dicts (the warm-load
+        view), so ``repro cache info`` does not pay
+        :meth:`segment_summaries` + :meth:`load` double decoding.
+        Unreadable segments (corrupt, truncated, foreign, wrong
+        version) appear with ``readable=False`` and zero counts;
+        segments vanishing mid-scan (concurrent compaction) are
+        skipped entirely.  Load counters are untouched — inspection is
+        invisible to :attr:`stats`.
+        """
+        summaries: List[SegmentSummary] = []
+        estimates: Dict = {}
+        partitions: Dict = {}
+        for segment in self.segments():
+            try:
+                size = segment.stat().st_size
+            except OSError:
+                continue  # vanished under a concurrent compaction
+            payload = self._read_segment(segment)
+            if payload is None:
+                summaries.append(
+                    SegmentSummary(segment.name, size, 0, 0, False)
+                )
+                continue
+            summaries.append(
+                SegmentSummary(
+                    segment.name,
+                    size,
+                    len(payload["estimates"]),
+                    len(payload["partitions"]),
+                    True,
+                )
+            )
+            for key, entry in payload["estimates"].items():
+                estimates.setdefault(key, entry)
+            for key, entry in payload["partitions"].items():
+                partitions.setdefault(key, entry)
+        return summaries, estimates, partitions
+
+    def segment_summaries(self) -> List[SegmentSummary]:
+        """Per-segment entry counts and sizes (see :meth:`inspect`)."""
+        return self.inspect()[0]
 
     # -- writing ---------------------------------------------------------
 

@@ -46,9 +46,16 @@ class BatchResult:
 class BatchRunner:
     """Run image batches over NI simulated accelerator instances.
 
-    The instances are identical, so one simulation per *distinct
-    workload shape* suffices for timing; functional outputs are computed
-    per image when ``functional=True``.
+    The instances are identical and the folded accelerator's timing is
+    data-independent, so one simulation per *distinct workload shape*
+    suffices for timing; functional outputs are computed per image when
+    ``functional=True`` (the first functional inference doubles as the
+    timing probe — no separate probe run is paid).
+
+    This is also the per-shard executor of the serving layer: a
+    :class:`~repro.serving.shard.Shard` wraps one runner and uses
+    :meth:`probe_seconds` / :meth:`completion_offsets` to place batches
+    on its virtual timeline.
     """
 
     def __init__(
@@ -67,11 +74,50 @@ class BatchRunner:
         self.runtime = HostRuntime(compiled, device, functional=functional)
         self._per_image_seconds: Optional[float] = None
 
-    def _image_latency(self, probe: np.ndarray) -> float:
+    @classmethod
+    def from_session(cls, session, functional: bool = False) -> "BatchRunner":
+        """Deploy a :class:`~repro.pipeline.session.PipelineSession`.
+
+        Duck-typed like :meth:`HostRuntime.from_session` so this module
+        stays independent of the pipeline layer.
+        """
+        ops = sum(i.ops for i in session.network.compute_layers())
+        return cls(
+            session.compiled(), session.device, ops, functional=functional
+        )
+
+    @property
+    def instances(self) -> int:
+        return self.compiled.cfg.instances
+
+    def _record_probe(self, seconds: float) -> None:
         if self._per_image_seconds is None:
-            result = self.runtime.infer(probe)
-            self._per_image_seconds = result.seconds
+            self._per_image_seconds = seconds
+
+    def probe_seconds(self) -> float:
+        """Per-image latency of one instance (simulated once, cached)."""
+        if self._per_image_seconds is None:
+            spec = self.compiled.input_spec
+            probe = np.zeros((spec.channels, spec.height, spec.width))
+            self._record_probe(self.runtime.infer(probe).seconds)
         return self._per_image_seconds
+
+    def completion_offsets(self, count: int) -> List[float]:
+        """Completion time of each image in a batch, relative to its
+        start (seconds).
+
+        Round-robin dispatch: image ``j`` runs as the ``j // NI``-th
+        job of instance ``j % NI``, so it completes after
+        ``(j // NI + 1)`` back-to-back image latencies; the last offset
+        is the batch makespan.
+        """
+        if count <= 0:
+            raise RuntimeHostError("empty batch")
+        per_image = self.probe_seconds()
+        return [
+            (index // self.instances + 1) * per_image
+            for index in range(count)
+        ]
 
     def run(self, images: List[np.ndarray]) -> BatchResult:
         """Process ``images``; returns aggregate timing.
@@ -82,23 +128,26 @@ class BatchRunner:
         """
         if not images:
             raise RuntimeHostError("empty batch")
-        instances = self.compiled.cfg.instances
-        per_image = self._image_latency(np.asarray(images[0]))
-
+        spec = self.compiled.input_spec
+        expected = (spec.channels, spec.height, spec.width)
+        for index, image in enumerate(images):
+            shape = np.asarray(image).shape
+            if shape != expected:
+                raise RuntimeHostError(
+                    f"image {index}: shape {shape} != expected {expected}"
+                )
         outputs = []
         if self.functional:
             for image in images:
-                outputs.append(self.runtime.infer(np.asarray(image)).output)
-
-        counts = [0] * instances
-        for index in range(len(images)):
-            counts[index % instances] += 1
-        makespan = max(counts) * per_image
+                result = self.runtime.infer(np.asarray(image))
+                self._record_probe(result.seconds)
+                outputs.append(result.output)
+        offsets = self.completion_offsets(len(images))
         return BatchResult(
             images=len(images),
-            instances=instances,
-            per_image_seconds=per_image,
-            makespan_seconds=makespan,
+            instances=self.instances,
+            per_image_seconds=self.probe_seconds(),
+            makespan_seconds=offsets[-1],
             total_ops=self.ops_per_image * len(images),
             outputs=outputs,
         )

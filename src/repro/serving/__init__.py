@@ -1,0 +1,57 @@
+"""Serving layer: multi-shard scheduling + dynamic batching.
+
+Turns the one-image-at-a-time runtime into a traffic-serving system: a
+:class:`ShardPool` of :class:`~repro.pipeline.session.PipelineSession`
+deployments (identical replicas or heterogeneous devices/models)
+sharing one evaluation cache, a :class:`Scheduler` with pluggable
+policies, a :class:`DynamicBatcher` coalescing requests under a
+batch/wait budget, and a :class:`ShardServer` running the whole
+discrete-event simulation in virtual time.  ``repro serve`` is the CLI
+entry point; ``docs/serving.md`` documents policies, traffic models
+and metric definitions.
+"""
+
+from __future__ import annotations
+
+from repro.serving.batcher import BatcherOptions, DynamicBatcher
+from repro.serving.metrics import (
+    RequestRecord,
+    ServingReport,
+    ShardUsage,
+    percentile,
+)
+from repro.serving.scheduler import (
+    POLICIES,
+    LeastLoaded,
+    RoundRobin,
+    Scheduler,
+    SchedulingPolicy,
+    ShortestExpectedLatency,
+    make_policy,
+)
+from repro.serving.server import ShardServer, analytical_reference
+from repro.serving.shard import Shard, ShardPool
+from repro.serving.traffic import TRAFFIC_MODELS, Request, make_requests
+
+__all__ = [
+    "BatcherOptions",
+    "DynamicBatcher",
+    "LeastLoaded",
+    "POLICIES",
+    "percentile",
+    "Request",
+    "RequestRecord",
+    "RoundRobin",
+    "Scheduler",
+    "SchedulingPolicy",
+    "ServingReport",
+    "Shard",
+    "ShardPool",
+    "ShardServer",
+    "ShardUsage",
+    "ShortestExpectedLatency",
+    "TRAFFIC_MODELS",
+    "analytical_reference",
+    "make_policy",
+    "make_requests",
+]

@@ -1,0 +1,157 @@
+"""Serving metrics: per-request records and the aggregate report.
+
+The paper reports makespan-based throughput ("CNN Perf. (GOPS)",
+Table 4); a serving system additionally cares *when each request* got
+its answer.  A :class:`ServingReport` therefore carries both views:
+
+* **aggregate** — makespan (first arrival to last completion),
+  images/s and GOPS over that span, directly comparable to
+  :class:`~repro.runtime.batch.BatchResult`;
+* **per-request** — queueing delay and end-to-end latency percentiles
+  (nearest-rank), the quantities a latency-vs-throughput policy trades.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ServingError
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle timestamps of one served request (virtual seconds).
+
+    ``arrival`` -> queued; ``dispatched`` -> its batch was flushed and
+    assigned to a shard; ``started`` -> the shard began the batch
+    (``> dispatched`` when the shard was still draining earlier work);
+    ``completed`` -> the image's round-robin slot finished.
+    """
+
+    index: int
+    arrival: float
+    dispatched: float
+    started: float
+    completed: float
+    shard: str
+    batch_size: int
+
+    @property
+    def latency(self) -> float:
+        """End-to-end: arrival to completion."""
+        return self.completed - self.arrival
+
+    @property
+    def queue_seconds(self) -> float:
+        """Time spent waiting before the shard started the batch."""
+        return self.started - self.arrival
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``."""
+    if not values:
+        raise ServingError("percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise ServingError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+@dataclass(frozen=True)
+class ShardUsage:
+    """One shard's share of the run."""
+
+    name: str
+    requests: int
+    batches: int
+    busy_seconds: float
+
+    def utilisation(self, makespan: float) -> float:
+        return self.busy_seconds / makespan if makespan > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Everything one :meth:`ShardServer.serve` run measured."""
+
+    records: List[RequestRecord]
+    shards: List[ShardUsage]
+    total_ops: int
+
+    def __post_init__(self) -> None:
+        if not self.records:
+            raise ServingError("a serving report needs at least one record")
+
+    # -- aggregate view ---------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """First arrival to last completion — the Table-4 span."""
+        start = min(r.arrival for r in self.records)
+        end = max(r.completed for r in self.records)
+        return end - start
+
+    @property
+    def throughput_gops(self) -> float:
+        return self.total_ops / self.makespan_seconds / 1e9
+
+    @property
+    def images_per_second(self) -> float:
+        return self.count / self.makespan_seconds
+
+    @property
+    def mean_batch_size(self) -> float:
+        batches = sum(usage.batches for usage in self.shards)
+        return self.count / batches if batches else 0.0
+
+    # -- per-request view -------------------------------------------------
+
+    def latencies(self) -> List[float]:
+        return [r.latency for r in self.records]
+
+    def latency_percentile(self, q: float) -> float:
+        return percentile(self.latencies(), q)
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies()) / self.count
+
+    @property
+    def mean_queue_seconds(self) -> float:
+        return sum(r.queue_seconds for r in self.records) / self.count
+
+    def per_shard(self) -> Dict[str, ShardUsage]:
+        return {usage.name: usage for usage in self.shards}
+
+    # -- rendering --------------------------------------------------------
+
+    def describe(self) -> str:
+        latencies = self.latencies()
+        lines = [
+            f"served {self.count} requests over "
+            f"{len(self.shards)} shard(s) in "
+            f"{self.makespan_seconds * 1e3:.2f} ms "
+            f"(mean batch {self.mean_batch_size:.1f})",
+            f"  throughput: {self.images_per_second:.1f} img/s, "
+            f"{self.throughput_gops:.1f} GOPS aggregate",
+            f"  latency ms: mean {self.mean_latency * 1e3:.2f}, "
+            f"p50 {percentile(latencies, 50) * 1e3:.2f}, "
+            f"p90 {percentile(latencies, 90) * 1e3:.2f}, "
+            f"p99 {percentile(latencies, 99) * 1e3:.2f}, "
+            f"max {max(latencies) * 1e3:.2f} "
+            f"(queue {self.mean_queue_seconds * 1e3:.2f} mean)",
+        ]
+        for usage in self.shards:
+            lines.append(
+                f"  {usage.name:12s} {usage.requests:5d} requests in "
+                f"{usage.batches:4d} batch(es), "
+                f"{usage.utilisation(self.makespan_seconds) * 100:5.1f}% busy"
+            )
+        return "\n".join(lines)

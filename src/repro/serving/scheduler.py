@@ -1,0 +1,126 @@
+"""Shard selection: pluggable scheduling policies.
+
+A policy sees the whole pool and the virtual clock and picks the shard
+for one flushed batch.  Three policies ship:
+
+* ``round-robin`` — rotate through the shards regardless of state; the
+  serving-layer equivalent of
+  :meth:`~repro.runtime.batch.BatchRunner.run`'s instance dispatch.
+* ``least-loaded`` — the shard with the smallest backlog
+  (``busy_until - now``).  On identical shards this degenerates to
+  round-robin; on heterogeneous pools it follows the *measured* state.
+* ``shortest-latency`` — the shard whose *expected completion* of this
+  batch is earliest, using each shard's analytical
+  :class:`~repro.estimator.latency.NetworkEstimate` (Eq. 12-15) for
+  the service time.  This is the policy that exploits heterogeneous
+  pools: a VU9P shard absorbs more traffic than a PYNQ shard in
+  exactly the ratio of their estimated latencies.
+
+All ties break on the lowest shard index, which keeps every policy
+deterministic and makes ``least-loaded`` bit-compatible with
+``round-robin`` on identical shards and back-to-back batches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.errors import ServingError
+from repro.serving.shard import Shard
+
+#: Policy names understood by :func:`make_policy` and the CLI.
+POLICIES = ("round-robin", "least-loaded", "shortest-latency")
+
+
+class SchedulingPolicy:
+    """Base class: pick a shard index for one batch."""
+
+    name = "abstract"
+
+    def select(
+        self, shards: Sequence[Shard], batch_size: int, now: float
+    ) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget per-run state (stateless policies: no-op)."""
+
+
+class RoundRobin(SchedulingPolicy):
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, shards, batch_size, now) -> int:
+        index = self._next % len(shards)
+        self._next += 1
+        return index
+
+    def reset(self) -> None:
+        self._next = 0
+
+
+class LeastLoaded(SchedulingPolicy):
+    name = "least-loaded"
+
+    def select(self, shards, batch_size, now) -> int:
+        return min(
+            range(len(shards)),
+            key=lambda i: (shards[i].backlog_seconds(now), i),
+        )
+
+
+class ShortestExpectedLatency(SchedulingPolicy):
+    name = "shortest-latency"
+
+    def select(self, shards, batch_size, now) -> int:
+        return min(
+            range(len(shards)),
+            key=lambda i: (shards[i].expected_completion(batch_size, now), i),
+        )
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Instantiate a policy by CLI name."""
+    registry = {
+        "round-robin": RoundRobin,
+        "least-loaded": LeastLoaded,
+        "shortest-latency": ShortestExpectedLatency,
+    }
+    if name not in registry:
+        raise ServingError(
+            f"unknown scheduling policy {name!r}; "
+            f"expected one of {POLICIES}"
+        )
+    return registry[name]()
+
+
+class Scheduler:
+    """Routes flushed batches to shards under one policy."""
+
+    def __init__(
+        self,
+        shards: Sequence[Shard],
+        policy: Union[str, SchedulingPolicy] = "round-robin",
+    ):
+        if not shards:
+            raise ServingError("scheduler needs at least one shard")
+        self.shards: List[Shard] = list(shards)
+        self.policy = make_policy(policy) if isinstance(policy, str) else (
+            policy
+        )
+
+    def reset(self) -> None:
+        """Forget per-run policy state (round-robin's rotation)."""
+        self.policy.reset()
+
+    def assign(self, batch_size: int, now: float) -> Shard:
+        """The shard that should run a ``batch_size`` batch at ``now``."""
+        index = self.policy.select(self.shards, batch_size, now)
+        if not 0 <= index < len(self.shards):
+            raise ServingError(
+                f"policy {self.policy.name!r} selected shard {index} of "
+                f"{len(self.shards)}"
+            )
+        return self.shards[index]

@@ -1,0 +1,103 @@
+"""The serve loop: traffic -> DynamicBatcher -> Scheduler -> shards.
+
+:class:`ShardServer` is a discrete-event simulation in virtual time:
+the batcher turns the arrival stream into ``(flush_time, batch)``
+events, the scheduler picks a shard per batch, and the shard places
+the batch on its timeline.  Flush times are nondecreasing and every
+shard-state read happens at the flush instant, so the run is
+deterministic — same traffic, same pool, same policy, same report.
+
+:func:`analytical_reference` computes the
+:class:`~repro.runtime.batch.BatchRunner` number the acceptance
+criterion compares against: the makespan of splitting the whole
+request set round-robin over the shards as one closed-loop batch.  For
+uniform traffic with a divisible batch budget, ``serve`` must agree
+with it to well under 1%.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import ServingError
+from repro.serving.batcher import BatcherOptions, DynamicBatcher
+from repro.serving.metrics import RequestRecord, ServingReport, ShardUsage
+from repro.serving.scheduler import Scheduler, SchedulingPolicy
+from repro.serving.shard import ShardPool
+from repro.serving.traffic import Request
+
+
+class ShardServer:
+    """Serve a finite request stream over a shard pool."""
+
+    def __init__(
+        self,
+        pool: ShardPool,
+        policy="round-robin",
+        batcher: Optional[BatcherOptions] = None,
+    ):
+        self.pool = pool
+        self.scheduler = Scheduler(pool.shards, policy)
+        self.batcher = DynamicBatcher(batcher)
+
+    def serve(self, requests: Sequence[Request]) -> ServingReport:
+        """Run the whole stream; returns the aggregate report.
+
+        The pool's virtual timelines and the policy's per-run state
+        (round-robin's rotation) are reset first, so back-to-back
+        ``serve`` calls measure independent runs (the timing probes
+        stay warm).
+        """
+        if not requests:
+            raise ServingError("nothing to serve: empty request stream")
+        self.pool.reset()
+        self.scheduler.reset()
+        records: List[RequestRecord] = []
+        for flush_time, batch in self.batcher.batches(requests):
+            shard = self.scheduler.assign(len(batch), flush_time)
+            records.extend(shard.execute(batch, flush_time))
+        records.sort(key=lambda record: record.index)
+        total_ops = sum(
+            shard.ops_per_image * shard.images_served
+            for shard in self.pool
+        )
+        usage = [
+            ShardUsage(
+                name=shard.name,
+                requests=shard.images_served,
+                batches=shard.batches_served,
+                busy_seconds=shard.busy_seconds,
+            )
+            for shard in self.pool
+        ]
+        return ServingReport(
+            records=records, shards=usage, total_ops=total_ops
+        )
+
+
+def analytical_reference(pool: ShardPool, count: int) -> float:
+    """``BatchRunner``-style closed-loop makespan for ``count`` images.
+
+    The request set is split round-robin over the shards (shard ``s``
+    takes images ``s, s + S, ...``); each shard's share runs as one
+    batch over its NI instances exactly as
+    :meth:`~repro.runtime.batch.BatchRunner.run` accounts it; the pool
+    finishes when its most-loaded shard does.  With one shard this *is*
+    ``BatchRunner.run(images).makespan_seconds``.
+    """
+    if count < 1:
+        raise ServingError(f"count must be >= 1, got {count}")
+    shares = [0] * len(pool.shards)
+    for index in range(count):
+        shares[index % len(shares)] += 1
+    makespan = 0.0
+    for shard, share in zip(pool.shards, shares):
+        if share:
+            # shard.probe_seconds() first, so replicated shards seed
+            # their runner with the pool's single probe before the
+            # runner computes BatchRunner's round-robin offsets.
+            shard.probe_seconds()
+            makespan = max(
+                makespan, shard.runner.completion_offsets(share)[-1]
+            )
+    return makespan

@@ -1,0 +1,239 @@
+"""Shards: one deployed accelerator design each, pooled behind a cache.
+
+A :class:`Shard` is one deployment of a
+:class:`~repro.pipeline.session.PipelineSession` — a compiled model on
+a device, executed by a :class:`~repro.runtime.batch.BatchRunner` over
+the design's NI instances.  The serving layer is a *virtual-time*
+simulation: a shard keeps a ``busy_until`` horizon and places each
+dispatched batch after it, using the runner's simulated per-image
+timing probe (which is data-independent, so one simulation per shard —
+or one per *pool* of identical shards — suffices).
+
+A :class:`ShardPool` owns N shards that share one
+:class:`~repro.pipeline.cache.EvaluationCache` (and optionally one
+:class:`~repro.pipeline.store.EvaluationStore` behind the parent
+session):  :meth:`ShardPool.replicate` deploys N identical shards from
+one session via :meth:`PipelineSession.clone`, paying a single DSE and
+compilation; :meth:`ShardPool.of` builds a heterogeneous pool from
+arbitrary sessions (different devices and/or different models).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import ServingError
+from repro.runtime.batch import BatchRunner
+from repro.serving.metrics import RequestRecord
+from repro.serving.traffic import Request
+
+
+class Shard:
+    """One deployed design plus its virtual execution timeline."""
+
+    def __init__(
+        self,
+        session,
+        name: Optional[str] = None,
+        probe_of: Optional["Shard"] = None,
+    ):
+        self.session = session
+        self.name = name or (
+            f"{session.network.name}@{session.device.name}"
+        )
+        self.runner = BatchRunner.from_session(session)
+        #: Identical twin whose timing probe this shard reuses (set by
+        #: :meth:`ShardPool.replicate` — clones share the compiled
+        #: model and device, and the folded accelerator's timing is
+        #: data-independent, so re-simulating the probe per shard would
+        #: measure the same number N times).
+        self._probe_of = probe_of
+        self.busy_until = 0.0
+        self.images_served = 0
+        self.batches_served = 0
+        self.busy_seconds = 0.0
+
+    # -- static properties ------------------------------------------------
+
+    @property
+    def instances(self) -> int:
+        return self.runner.instances
+
+    @property
+    def ops_per_image(self) -> int:
+        return self.runner.ops_per_image
+
+    def probe_seconds(self) -> float:
+        """Simulated per-image latency of one instance (cached).
+
+        Replicas seed their own runner with the twin's measurement, so
+        every path through :meth:`BatchRunner.completion_offsets` sees
+        the shared probe and no replica ever re-simulates it.
+        """
+        if self._probe_of is not None:
+            self.runner._record_probe(self._probe_of.probe_seconds())
+        return self.runner.probe_seconds()
+
+    def analytical_seconds(self) -> float:
+        """Eq. 12-15 per-image latency — the
+        :class:`~repro.estimator.latency.NetworkEstimate` the
+        shortest-expected-latency policy ranks shards by (available
+        without running a single simulation)."""
+        return self.session.estimate().latency
+
+    # -- scheduling view --------------------------------------------------
+
+    def backlog_seconds(self, now: float) -> float:
+        """Queued work still draining at virtual time ``now``."""
+        return max(self.busy_until - now, 0.0)
+
+    def expected_service_seconds(self, count: int) -> float:
+        """Analytical batch service time (round-robin over NI)."""
+        if count < 1:
+            raise ServingError(f"batch size must be >= 1, got {count}")
+        return math.ceil(count / self.instances) * self.analytical_seconds()
+
+    def expected_completion(self, count: int, now: float) -> float:
+        """When a batch dispatched now would finish on this shard."""
+        return max(now, self.busy_until) + self.expected_service_seconds(
+            count
+        )
+
+    # -- execution --------------------------------------------------------
+
+    def execute(self, batch: Sequence[Request], at: float) -> List[
+            RequestRecord]:
+        """Place ``batch`` on the timeline at virtual time ``at``.
+
+        The batch starts when the shard is free (``max(at,
+        busy_until)``) and its images complete at the runner's
+        round-robin offsets; the shard is then busy until the last
+        image finishes.  Batches never overlap — exactly the
+        back-to-back accounting of
+        :meth:`~repro.runtime.batch.BatchRunner.run`.
+        """
+        if not batch:
+            raise ServingError("empty batch dispatched")
+        self.probe_seconds()  # seed replicas before the runner math
+        offsets = self.runner.completion_offsets(len(batch))
+        start = max(at, self.busy_until)
+        records = []
+        for offset, request in zip(offsets, batch):
+            records.append(
+                RequestRecord(
+                    index=request.index,
+                    arrival=request.arrival,
+                    dispatched=at,
+                    started=start,
+                    completed=start + offset,
+                    shard=self.name,
+                    batch_size=len(batch),
+                )
+            )
+        makespan = records[-1].completed - start
+        self.busy_until = start + makespan
+        self.images_served += len(batch)
+        self.batches_served += 1
+        self.busy_seconds += makespan
+        return records
+
+    def reset(self) -> None:
+        """Clear the virtual timeline (timing probe stays warm)."""
+        self.busy_until = 0.0
+        self.images_served = 0
+        self.batches_served = 0
+        self.busy_seconds = 0.0
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.session.cfg.describe()} "
+            f"({self.ops_per_image / 1e9:.2f} GOP/image)"
+        )
+
+
+class ShardPool:
+    """N shards sharing one evaluation cache (and optional store)."""
+
+    def __init__(self, shards: Sequence[Shard]):
+        if not shards:
+            raise ServingError("a shard pool needs at least one shard")
+        names = [shard.name for shard in shards]
+        if len(set(names)) != len(names):
+            raise ServingError(f"duplicate shard names: {names}")
+        self.shards = list(shards)
+
+    @classmethod
+    def replicate(cls, session, count: int) -> "ShardPool":
+        """``count`` identical shards from one session.
+
+        The session's compiled model is materialised once, every clone
+        shares it (plus the DSE result, mapping, estimate, parameters,
+        cache and calibration), and replicas reuse the first shard's
+        timing probe — so an N-shard pool costs one DSE, one
+        compilation and one probe simulation.
+        """
+        if count < 1:
+            raise ServingError(f"shard count must be >= 1, got {count}")
+        session.compiled()  # materialise before cloning so shards share
+        shards = []
+        for index in range(count):
+            shard_session = session if index == 0 else session.clone()
+            shards.append(
+                Shard(
+                    shard_session,
+                    name=f"shard{index}",
+                    probe_of=shards[0] if index else None,
+                )
+            )
+        return cls(shards)
+
+    @classmethod
+    def of(cls, *sessions, names: Optional[Sequence[str]] = None
+           ) -> "ShardPool":
+        """A heterogeneous pool — one shard per session.
+
+        Sessions may target different devices and/or models; pass one
+        shared :class:`~repro.pipeline.cache.EvaluationCache` to the
+        sessions to share layer estimates across them.
+        """
+        if names is not None and len(names) != len(sessions):
+            raise ServingError(
+                f"{len(names)} names for {len(sessions)} sessions"
+            )
+        return cls([
+            Shard(session, name=names[index] if names else f"shard{index}")
+            for index, session in enumerate(sessions)
+        ])
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+    @property
+    def total_instances(self) -> int:
+        return sum(shard.instances for shard in self.shards)
+
+    def capacity_images_per_second(self) -> float:
+        """Analytical aggregate service rate (images/s) of the pool."""
+        return sum(
+            shard.instances / shard.analytical_seconds()
+            for shard in self.shards
+        )
+
+    def reset(self) -> None:
+        for shard in self.shards:
+            shard.reset()
+
+    def close(self) -> int:
+        """Flush every store-backed session; returns entries persisted.
+
+        Clones created by :meth:`replicate` carry no store, so this
+        flushes each backing store exactly once (via the parent).
+        """
+        return sum(shard.session.close() for shard in self.shards)
+
+    def describe(self) -> str:
+        return "\n".join(shard.describe() for shard in self.shards)

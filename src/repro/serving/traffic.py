@@ -1,0 +1,121 @@
+"""Synthetic traffic generation for the serving layer.
+
+The serving simulator is driven by *virtual* arrival timestamps, so a
+traffic model is just a deterministic function from (count, rate, seed)
+to a sorted list of :class:`Request` objects.  Four models cover the
+scenarios the benchmarks exercise:
+
+* ``uniform`` — a closed-loop batch: every request is present at t=0
+  (the :class:`~repro.runtime.batch.BatchRunner` comparison case);
+* ``fixed-qps`` — an open loop with deterministic ``1/qps`` spacing;
+* ``poisson`` — an open loop with exponential inter-arrival times of
+  mean ``1/qps`` (memoryless arrivals, the classic serving workload);
+* ``burst`` — groups of simultaneous requests spaced so the *average*
+  rate is still ``qps`` (tests the batcher's coalescing and the tail
+  behaviour of the schedulers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ServingError
+
+#: Traffic models understood by :func:`make_requests` and the CLI.
+TRAFFIC_MODELS = ("uniform", "fixed-qps", "poisson", "burst")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: an identity and a virtual arrival time."""
+
+    index: int
+    arrival: float
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ServingError(
+                f"request {self.index}: arrival must be >= 0, "
+                f"got {self.arrival}"
+            )
+
+
+def uniform_arrivals(count: int) -> List[float]:
+    """Closed loop: all requests queued at t=0."""
+    _check_count(count)
+    return [0.0] * count
+
+
+def fixed_qps_arrivals(count: int, qps: float) -> List[float]:
+    """Open loop with deterministic spacing ``1/qps``."""
+    _check_count(count)
+    _check_qps(qps)
+    return [index / qps for index in range(count)]
+
+
+def poisson_arrivals(count: int, qps: float, seed: int = 2020) -> List[float]:
+    """Open loop with exponential inter-arrivals of mean ``1/qps``."""
+    _check_count(count)
+    _check_qps(qps)
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / qps, size=count)
+    return list(np.cumsum(gaps))
+
+
+def burst_arrivals(count: int, qps: float, burst: int = 8) -> List[float]:
+    """Bursts of ``burst`` simultaneous requests at average rate ``qps``.
+
+    Burst ``k`` lands at ``k * burst / qps`` — the long-run rate matches
+    ``fixed-qps`` while the instantaneous rate is infinite.
+    """
+    _check_count(count)
+    _check_qps(qps)
+    if burst < 1:
+        raise ServingError(f"burst size must be >= 1, got {burst}")
+    return [(index // burst) * burst / qps for index in range(count)]
+
+
+def make_requests(
+    model: str,
+    count: int,
+    qps: Optional[float] = None,
+    seed: int = 2020,
+    burst: int = 8,
+) -> List[Request]:
+    """Requests of one traffic ``model``, sorted by arrival time.
+
+    ``qps`` is required by every model except ``uniform``.
+    """
+    if model == "uniform":
+        arrivals = uniform_arrivals(count)
+    elif model in ("fixed-qps", "poisson", "burst"):
+        if qps is None:
+            raise ServingError(f"traffic model {model!r} requires a qps")
+        if model == "fixed-qps":
+            arrivals = fixed_qps_arrivals(count, qps)
+        elif model == "poisson":
+            arrivals = poisson_arrivals(count, qps, seed)
+        else:
+            arrivals = burst_arrivals(count, qps, burst)
+    else:
+        raise ServingError(
+            f"unknown traffic model {model!r}; "
+            f"expected one of {TRAFFIC_MODELS}"
+        )
+    return [
+        Request(index=index, arrival=float(arrival))
+        for index, arrival in enumerate(arrivals)
+    ]
+
+
+def _check_count(count: int) -> None:
+    if count < 1:
+        raise ServingError(f"request count must be >= 1, got {count}")
+
+
+def _check_qps(qps: float) -> None:
+    if qps <= 0:
+        raise ServingError(f"qps must be positive, got {qps}")

@@ -178,6 +178,42 @@ class TestPruneBound:
         with pytest.raises(DseError):
             objective_lower_bound(1.0, "area", 100, 1)
 
+    def test_bound_includes_bandwidth_terms(self, pynq):
+        """The bound exceeds pure compute time on a memory-bound layer.
+
+        tiny_mlp is dominated by Dense layers, whose weight streaming
+        (Eq. 8) dwarfs T_CP on a small device — the Eq. 8-11 terms must
+        make the bound strictly tighter than the compute-only sum.
+        """
+        from repro.estimator.latency import _module_times
+
+        network = zoo.tiny_mlp()
+        cfg = explore_hardware(pynq)[-1].cfg
+        compute_only = sum(
+            _module_times(cfg, pynq, info, "spat")[0]
+            for info in network.compute_layers()
+        )
+        assert latency_lower_bound(cfg, pynq, network) > compute_only
+
+    @pytest.mark.parametrize("objective", ["throughput", "latency"])
+    def test_bandwidth_bound_equivalence(self, pynq, objective):
+        """Pruning with the tightened bound keeps the selection *and*
+        the runner-up ranking byte-identical to brute force."""
+        network = zoo.tiny_mlp()  # memory-bound: the new terms do prune
+        seed = run_dse(
+            pynq, network,
+            DseOptions(objective=objective, use_cache=False, prune=False),
+        )
+        fast = run_dse(
+            pynq, network,
+            DseOptions(objective=objective, prune=True, best_first=True),
+        )
+        assert fast.candidates_pruned > 0
+        assert _design_point(fast) == _design_point(seed)
+        assert [_design_point(r) for r in fast.runners_up] == [
+            _design_point(r) for r in seed.runners_up
+        ]
+
 
 # -- DSE equivalence: cached / pruned / parallel vs brute force ------------
 

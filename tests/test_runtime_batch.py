@@ -74,6 +74,40 @@ class TestBatchTiming:
             BatchRunner(runner.compiled, device, 0)
 
 
+class TestPerShardExecutor:
+    def test_probe_simulates_once(self):
+        runner, net = make_runner(instances=2)
+        first = runner.probe_seconds()
+        sim = runner.runtime
+        runner.runtime = None  # a second probe would crash
+        assert runner.probe_seconds() == first
+        runner.runtime = sim
+
+    def test_completion_offsets_round_robin(self):
+        runner, net = make_runner(instances=2)
+        per_image = runner.probe_seconds()
+        offsets = runner.completion_offsets(5)
+        # Images 0/1 finish after one latency, 2/3 after two, 4 after 3.
+        assert offsets == pytest.approx(
+            [per_image, per_image, 2 * per_image, 2 * per_image,
+             3 * per_image]
+        )
+        result = runner.run([np.zeros(net.input_shape.as_tuple())] * 5)
+        assert result.makespan_seconds == pytest.approx(offsets[-1])
+
+    def test_empty_offsets_rejected(self):
+        runner, _ = make_runner()
+        with pytest.raises(RuntimeHostError):
+            runner.completion_offsets(0)
+
+    def test_wrong_image_shape_rejected_without_functional(self):
+        # Timing-only runs still validate inputs: the probe no longer
+        # touches the caller's images, so run() checks shapes itself.
+        runner, _ = make_runner(instances=2, functional=False)
+        with pytest.raises(RuntimeHostError):
+            runner.run([np.zeros((3, 224, 224))])
+
+
 class TestBatchFunctional:
     def test_outputs_returned_per_image(self):
         runner, net = make_runner(functional=True)
@@ -88,3 +122,23 @@ class TestBatchFunctional:
         for image, output in zip(images, result.outputs):
             ref = reference_inference(net, params, image)
             np.testing.assert_allclose(output, ref, atol=1e-9)
+
+    def test_functional_reuses_first_inference_as_probe(self):
+        """Functional mode pays exactly one inference per image — the
+        first one doubles as the timing probe."""
+        runner, net = make_runner(functional=True)
+        calls = []
+        real_infer = runner.runtime.infer
+
+        def counting_infer(image):
+            calls.append(1)
+            return real_infer(image)
+
+        runner.runtime.infer = counting_infer
+        result = runner.run([np.zeros(net.input_shape.as_tuple())] * 3)
+        assert len(calls) == 3
+        assert result.per_image_seconds > 0
+        # The probe is cached: a second batch still pays only per-image.
+        calls.clear()
+        runner.run([np.zeros(net.input_shape.as_tuple())] * 2)
+        assert len(calls) == 2
