@@ -19,7 +19,19 @@ Checked claims:
   only by the arrival tail);
 * **dynamic batching unlocks intra-shard batch parallelism** — full
   batches (max_batch = NI) beat per-request dispatch by more than 3x
-  on a 6-instance shard.
+  on a 6-instance shard;
+* **closed-loop saturation reaches open-loop capacity** — a client
+  pool with zero think time (2 clients per instance) sustains
+  aggregate GOPS within 5% of the uniform closed-batch number: the
+  event kernel's completion-driven arrivals keep every instance fed;
+* **a shard failure degrades gracefully** — killing 1 of N shards at
+  t=0 under least-loaded costs at most ``1/N + epsilon`` of the
+  baseline throughput (the survivors absorb the stream), and a
+  mid-stream kill + restore still serves every request (the lost
+  in-flight work is re-queued, never dropped).
+
+Every number is printed (not only asserted) so the CI log doubles as
+a perf trajectory record.
 """
 
 from repro.experiments.common import paper_config
@@ -28,6 +40,8 @@ from repro.ir import zoo
 from repro.pipeline import PipelineSession
 from repro.serving import (
     BatcherOptions,
+    ClosedLoopClientPool,
+    FailureScenario,
     ShardPool,
     ShardServer,
     analytical_reference,
@@ -103,3 +117,66 @@ def test_dynamic_batching_fills_instances(capsys):
               f"({gain:.2f}x from filling the instances)")
 
     assert gain > 3.0, f"batching gain {gain:.2f}x <= 3x"
+
+
+def test_closed_loop_saturates_open_loop_capacity(capsys):
+    session = _session()
+    pool = ShardPool.replicate(session, 2)
+
+    open_loop = _serve(pool, "uniform")
+    clients = 2 * pool.total_instances  # one batch serving, one queued
+    closed = ShardServer(
+        pool, "least-loaded", BatcherOptions(max_batch=6)
+    ).serve(ClosedLoopClientPool(
+        clients=clients, requests=REQUESTS, think_time_s=0.0, seed=11,
+    ))
+    ratio = closed.throughput_gops / open_loop.throughput_gops
+
+    with capsys.disabled():
+        print()
+        print(f"  closed loop ({clients} clients, zero think): "
+              f"{closed.throughput_gops:8.1f} GOPS vs open-loop "
+              f"{open_loop.throughput_gops:8.1f} GOPS "
+              f"(ratio {ratio:.4f})")
+
+    # Acceptance: saturated closed loop within 5% of open-loop capacity.
+    assert abs(ratio - 1.0) < 0.05, f"closed/open ratio {ratio:.4f}"
+    assert closed.count == REQUESTS
+
+
+def test_shard_failure_degrades_gracefully(capsys):
+    session = _session()
+    pool = ShardPool.replicate(session, 2)
+    server = ShardServer(pool, "least-loaded", BatcherOptions(max_batch=6))
+
+    baseline = server.serve(make_requests("uniform", REQUESTS))
+    dead = server.serve(
+        make_requests("uniform", REQUESTS),
+        scenario=FailureScenario.kill("shard0", at=0.0),
+    )
+    degradation = 1.0 - dead.throughput_gops / baseline.throughput_gops
+    restore = server.serve(
+        make_requests("uniform", REQUESTS),
+        scenario=FailureScenario.kill(
+            "shard0",
+            at=0.3 * baseline.makespan_seconds,
+            restore_at=0.7 * baseline.makespan_seconds,
+        ),
+    )
+    stretch = restore.makespan_seconds / baseline.makespan_seconds
+
+    with capsys.disabled():
+        print()
+        print(f"  kill 1/2 shards @ t=0:   "
+              f"{dead.throughput_gops:8.1f} GOPS vs baseline "
+              f"{baseline.throughput_gops:8.1f} "
+              f"({degradation * 100:.1f}% degradation)")
+        print(f"  kill @ 30% + restore @ 70%: {restore.count} / "
+              f"{REQUESTS} served, makespan stretch {stretch:.2f}x")
+
+    # Acceptance: losing 1 of N shards costs <= 1/N + epsilon, and a
+    # restored shard means no request is ever lost.
+    assert degradation <= 0.5 + 0.1, f"degradation {degradation:.2f}"
+    assert degradation >= 0.3, "kill@0 barely degraded - scenario inert?"
+    assert restore.count == REQUESTS, "kill+restore dropped requests"
+    assert dead.per_shard()["shard0"].requests == 0

@@ -178,27 +178,67 @@ def _serve_session(args) -> PipelineSession:
 
 
 def _cmd_serve(args) -> int:
+    from repro.serving import FailureScenario, ShardPool, SloOptions
+
+    # Parse the cheap, error-prone options before paying for the
+    # session: a bad spec should fail before DSE/compilation.
+    scenario = (
+        FailureScenario.parse(args.scenario) if args.scenario else None
+    )
+    slo = (
+        SloOptions(p99_target_s=args.slo_p99 * 1e-3,
+                   action=args.slo_action)
+        if args.slo_p99 is not None else None
+    )
+    session = _serve_session(args)
+    pool = ShardPool.replicate(session, args.shards)
+    try:
+        return _run_serve(args, pool, scenario, slo)
+    finally:
+        # Always flush a store-backed session, even when the serve run
+        # itself fails (e.g. a scenario naming an unknown shard) — the
+        # DSE/compile work is already paid and worth persisting.
+        pool.close()
+
+
+def _run_serve(args, pool, scenario, slo) -> int:
     from repro.serving import (
         BatcherOptions,
-        ShardPool,
+        ClosedLoopClientPool,
         ShardServer,
         analytical_reference,
         make_requests,
     )
 
-    session = _serve_session(args)
-    pool = ShardPool.replicate(session, args.shards)
-    qps = args.qps
-    if qps is None and args.traffic != "uniform":
-        # Auto-saturate: 2x the pool's analytical service rate keeps
-        # every shard busy without drowning the tail in queueing delay.
-        qps = 2.0 * pool.capacity_images_per_second()
-        print(f"qps not given: saturating at {qps:.1f} req/s "
-              "(2x analytical pool capacity)")
-    requests = make_requests(
-        args.traffic, args.requests, qps=qps, seed=args.seed,
-        burst=args.burst,
-    )
+    if args.closed_loop is not None:
+        # Closed loop: N clients, each re-issuing one think time after
+        # its previous request completes — arrivals depend on
+        # completions, so qps is an outcome, not an input.
+        traffic = ClosedLoopClientPool(
+            clients=args.closed_loop,
+            requests=args.requests,
+            think_time_s=args.think_time * 1e-3,
+            distribution=args.think_dist,
+            seed=args.seed,
+        )
+        traffic_label = (
+            f"closed-loop: {args.closed_loop} clients, "
+            f"{args.think_time:.1f} ms {args.think_dist} think"
+        )
+    else:
+        qps = args.qps
+        if qps is None and args.traffic != "uniform":
+            # Auto-saturate: 2x the pool's analytical service rate
+            # keeps every shard busy without drowning the tail in
+            # queueing delay.
+            qps = 2.0 * pool.capacity_images_per_second()
+            print(f"qps not given: saturating at {qps:.1f} req/s "
+                  "(2x analytical pool capacity)")
+        traffic = make_requests(
+            args.traffic, args.requests, qps=qps, seed=args.seed,
+            burst=args.burst,
+        )
+        traffic_label = f"{args.traffic} traffic"
     max_batch = args.max_batch
     if max_batch is None:
         # A batch occupies one shard's NI batch-parallel instances, so
@@ -212,20 +252,28 @@ def _cmd_serve(args) -> int:
         pool, args.policy,
         BatcherOptions(max_batch=max_batch,
                        max_wait_s=args.max_wait_ms * 1e-3),
+        slo=slo,
     )
-    report = server.serve(requests)
-    print(f"pool ({args.policy}, {args.traffic} traffic):")
+    report = server.serve(traffic, scenario=scenario)
+    print(f"pool ({args.policy}, {traffic_label}):")
     print(pool.describe())
+    if scenario is not None:
+        print(f"scenario: {scenario.describe()}")
     print()
     print(report.describe())
-    reference = analytical_reference(pool, args.requests)
-    reference_gops = report.total_ops / reference / 1e9
-    ratio = report.throughput_gops / reference_gops
-    print(
-        f"  BatchRunner analytical reference: {reference_gops:.1f} GOPS "
-        f"(serve/reference = {ratio:.3f})"
-    )
-    pool.close()
+    if server.last_slo_controller is not None:
+        print(f"  {server.last_slo_controller.describe()}")
+    if args.closed_loop is None and scenario is None and slo is None:
+        # The BatchRunner cross-check only measures the same quantity
+        # when every request is served on the full pool.
+        reference = analytical_reference(pool, args.requests)
+        reference_gops = report.total_ops / reference / 1e9
+        ratio = report.throughput_gops / reference_gops
+        print(
+            f"  BatchRunner analytical reference: "
+            f"{reference_gops:.1f} GOPS "
+            f"(serve/reference = {ratio:.3f})"
+        )
     return 0
 
 
@@ -305,6 +353,7 @@ def _cmd_experiments(args) -> int:
         overhead,
         roofline_study,
         scalability,
+        scenario_study,
         serving_study,
         table3,
         table4,
@@ -323,7 +372,8 @@ def _cmd_experiments(args) -> int:
         "scalability": scalability.main,
         "roofline": roofline_study.main,
         "instruction-stats": instruction_stats.main,
-        "serving": serving_study.main,
+        "serving": lambda: serving_study.main(seed=args.seed),
+        "scenarios": lambda: scenario_study.main(seed=args.seed),
     }
     if args.name not in registry:
         print(f"unknown experiment {args.name!r}; "
@@ -412,6 +462,31 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="max_wait_ms",
                    help="dynamic batcher: max wait of the oldest "
                         "queued request")
+    p.add_argument("--closed-loop", type=int, default=None,
+                   metavar="CLIENTS", dest="closed_loop",
+                   help="closed-loop client pool of this many clients "
+                        "(--requests bounds the total issued; "
+                        "overrides --traffic/--qps)")
+    p.add_argument("--think-time", type=float, default=0.0,
+                   metavar="MS", dest="think_time",
+                   help="closed-loop client think time in ms")
+    from repro.serving.traffic import THINK_DISTRIBUTIONS
+    p.add_argument("--think-dist", default="fixed",
+                   choices=THINK_DISTRIBUTIONS, dest="think_dist",
+                   help="closed-loop think-time distribution")
+    p.add_argument("--slo-p99", type=float, default=None,
+                   metavar="MS", dest="slo_p99",
+                   help="latency SLO: target p99 in ms; the controller "
+                        "sheds/reroutes while the windowed estimate "
+                        "exceeds it")
+    from repro.serving.slo import SLO_ACTIONS
+    p.add_argument("--slo-action", default="shed", choices=SLO_ACTIONS,
+                   dest="slo_action",
+                   help="what to do while the SLO is breached")
+    p.add_argument("--scenario", default=None,
+                   help="failure scenario, e.g. "
+                        "'kill:shard0@0.05,restore@0.12' "
+                        "(virtual seconds)")
     p.add_argument("--dse", action="store_true",
                    help="run the DSE instead of the paper configuration")
     p.set_defaults(func=_cmd_serve)
@@ -437,7 +512,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("experiments", help="regenerate a paper artifact")
     p.add_argument("name", help="table3|table4|figure6|estimation-error|"
-                                "overhead|vgg16-case|ablation")
+                                "overhead|vgg16-case|ablation|serving|"
+                                "scenarios")
+    p.add_argument("--seed", type=int, default=2020,
+                   help="traffic seed for the serving/scenarios studies")
     p.set_defaults(func=_cmd_experiments)
     return parser
 

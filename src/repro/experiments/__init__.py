@@ -20,9 +20,15 @@ from repro.experiments.ablation import (
 from repro.experiments.scalability import run_scalability
 from repro.experiments.roofline_study import run_roofline_study
 from repro.experiments.instruction_stats import run_instruction_stats
+from repro.experiments.scenario_study import (
+    run_failure_study,
+    run_slo_study,
+)
 
 __all__ = [
     "common",
+    "run_failure_study",
+    "run_slo_study",
     "run_bandwidth_ablation",
     "run_dataflow_ablation",
     "run_estimation_error",

@@ -59,8 +59,9 @@ def _session(device_name: str, cache: EvaluationCache) -> PipelineSession:
     )
 
 
-def _serve(pool: ShardPool, policy: str, qps: float) -> ServingReport:
-    requests = make_requests("poisson", REQUESTS, qps=qps)
+def _serve(pool: ShardPool, policy: str, qps: float,
+           seed: int = 2020) -> ServingReport:
+    requests = make_requests("poisson", REQUESTS, qps=qps, seed=seed)
     server = ShardServer(
         pool, policy,
         BatcherOptions(max_batch=MAX_BATCH, max_wait_s=MAX_WAIT_S),
@@ -68,7 +69,8 @@ def _serve(pool: ShardPool, policy: str, qps: float) -> ServingReport:
     return server.serve(requests)
 
 
-def run_replica_scaling() -> List[Tuple[int, str, ServingReport]]:
+def run_replica_scaling(seed: int = 2020
+                        ) -> List[Tuple[int, str, ServingReport]]:
     """1 / 2 / 4 identical VU9P shards under saturating Poisson."""
     cache = EvaluationCache()
     session = _session("vu9p", cache)
@@ -78,12 +80,12 @@ def run_replica_scaling() -> List[Tuple[int, str, ServingReport]]:
             session if shards == 1 else session.clone(), shards
         )
         qps = 2.0 * pool.capacity_images_per_second()
-        rows.append((shards, "least-loaded", _serve(pool, "least-loaded",
-                                                    qps)))
+        rows.append((shards, "least-loaded",
+                     _serve(pool, "least-loaded", qps, seed=seed)))
     return rows
 
 
-def run_heterogeneous() -> List[Tuple[str, ServingReport]]:
+def run_heterogeneous(seed: int = 2020) -> List[Tuple[str, ServingReport]]:
     """VU9P + PYNQ-Z1 pool: round-robin vs shortest-latency.
 
     One pool serves both policies — ``ShardServer.serve`` resets the
@@ -97,7 +99,7 @@ def run_heterogeneous() -> List[Tuple[str, ServingReport]]:
     )
     qps = 2.0 * pool.capacity_images_per_second()
     return [
-        (policy, _serve(pool, policy, qps))
+        (policy, _serve(pool, policy, qps, seed=seed))
         for policy in ("round-robin", "shortest-latency")
     ]
 
@@ -144,8 +146,9 @@ def format_study(
     return table.render()
 
 
-def main() -> str:
-    output = format_study(run_replica_scaling(), run_heterogeneous())
+def main(seed: int = 2020) -> str:
+    output = format_study(run_replica_scaling(seed=seed),
+                          run_heterogeneous(seed=seed))
     print(output)
     return output
 

@@ -119,6 +119,28 @@ class BatchRunner:
             for index in range(count)
         ]
 
+    def completion_groups(self, count: int) -> List[tuple]:
+        """Completion *instants* of a batch: ``[(offset, images), ...]``.
+
+        A batch round-robins over the NI instances, so its images
+        complete in rounds of up to NI at a time: round ``k`` finishes
+        ``min(NI, count - k*NI)`` images at offset ``(k+1)`` per-image
+        latencies.  This is :meth:`completion_offsets` with the equal
+        offsets coalesced — the serving layer emits one completion
+        event per round rather than comparing floats to regroup them.
+        """
+        if count <= 0:
+            raise RuntimeHostError("empty batch")
+        per_image = self.probe_seconds()
+        rounds = (count + self.instances - 1) // self.instances
+        return [
+            (
+                (k + 1) * per_image,
+                min(self.instances, count - k * self.instances),
+            )
+            for k in range(rounds)
+        ]
+
     def run(self, images: List[np.ndarray]) -> BatchResult:
         """Process ``images``; returns aggregate timing.
 

@@ -1,24 +1,43 @@
-"""Serving layer: multi-shard scheduling + dynamic batching.
+"""Serving layer: an event-kernel traffic simulator over shard pools.
 
-Turns the one-image-at-a-time runtime into a traffic-serving system: a
-:class:`ShardPool` of :class:`~repro.pipeline.session.PipelineSession`
-deployments (identical replicas or heterogeneous devices/models)
-sharing one evaluation cache, a :class:`Scheduler` with pluggable
-policies, a :class:`DynamicBatcher` coalescing requests under a
-batch/wait budget, and a :class:`ShardServer` running the whole
-discrete-event simulation in virtual time.  ``repro serve`` is the CLI
-entry point; ``docs/serving.md`` documents policies, traffic models
-and metric definitions.
+Turns the one-image-at-a-time runtime into a traffic-serving system
+built around a shared discrete-event kernel
+(:class:`~repro.serving.events.EventKernel`): event *sources* (open-
+loop traffic, closed-loop client pools with think time, failure
+scenarios) feed typed events to *handlers* — the
+:class:`DynamicBatcher` coalescing requests under a batch/wait budget,
+the :class:`Scheduler` with pluggable policies and shard availability,
+an optional :class:`SloController` shedding or rerouting when the
+observed p99 drifts, and the :class:`ShardPool` of
+:class:`~repro.pipeline.session.PipelineSession` deployments placing
+batches on virtual timelines.  ``repro serve`` is the CLI entry point;
+``docs/serving.md`` documents the event taxonomy, policies, traffic
+models and metric definitions.
 """
 
 from __future__ import annotations
 
 from repro.serving.batcher import BatcherOptions, DynamicBatcher
+from repro.serving.events import (
+    Arrival,
+    BatchDone,
+    Event,
+    EventKernel,
+    EventSource,
+    Flush,
+    PolicyTick,
+    ShardDown,
+    ShardUp,
+)
 from repro.serving.metrics import (
     RequestRecord,
     ServingReport,
     ShardUsage,
     percentile,
+)
+from repro.serving.scenarios import (
+    FailureScenario,
+    ScenarioStep,
 )
 from repro.serving.scheduler import (
     POLICIES,
@@ -31,25 +50,50 @@ from repro.serving.scheduler import (
 )
 from repro.serving.server import ShardServer, analytical_reference
 from repro.serving.shard import Shard, ShardPool
-from repro.serving.traffic import TRAFFIC_MODELS, Request, make_requests
+from repro.serving.slo import SLO_ACTIONS, SloController, SloOptions
+from repro.serving.traffic import (
+    THINK_DISTRIBUTIONS,
+    TRAFFIC_MODELS,
+    ClosedLoopClientPool,
+    OpenLoopSource,
+    Request,
+    make_requests,
+)
 
 __all__ = [
+    "Arrival",
+    "BatchDone",
     "BatcherOptions",
+    "ClosedLoopClientPool",
     "DynamicBatcher",
+    "Event",
+    "EventKernel",
+    "EventSource",
+    "FailureScenario",
+    "Flush",
     "LeastLoaded",
+    "OpenLoopSource",
     "POLICIES",
     "percentile",
+    "PolicyTick",
     "Request",
     "RequestRecord",
     "RoundRobin",
+    "ScenarioStep",
     "Scheduler",
     "SchedulingPolicy",
     "ServingReport",
     "Shard",
+    "ShardDown",
     "ShardPool",
     "ShardServer",
+    "ShardUp",
     "ShardUsage",
     "ShortestExpectedLatency",
+    "SLO_ACTIONS",
+    "SloController",
+    "SloOptions",
+    "THINK_DISTRIBUTIONS",
     "TRAFFIC_MODELS",
     "analytical_reference",
     "make_policy",

@@ -1,32 +1,45 @@
 """Dynamic batching: coalesce queued requests under a batch/wait budget.
 
-The batcher is pure virtual-time logic — no threads, no clocks.  Fed
-arrival-ordered requests, it yields ``(flush_time, batch)`` pairs in
-nondecreasing flush order under two triggers:
+The batcher is an event handler on the
+:class:`~repro.serving.events.EventKernel`: it consumes
+:class:`~repro.serving.events.Arrival` events into a queue and emits
+dispatchable batches under two triggers:
 
-* **size** — the queue reached ``max_batch``: flush immediately (the
+* **size** — the queue reached ``max_batch``: dispatch immediately (the
   batch is full, waiting longer cannot help anyone);
-* **wait** — the oldest queued request has waited ``max_wait_s``: flush
-  whatever is queued *at that deadline* (only requests that have
-  actually arrived by then — a later request never time-travels into
-  an earlier batch).
+* **wait** — the oldest queued request has waited ``max_wait_s``: a
+  :class:`~repro.serving.events.Flush` wakeup scheduled at that
+  deadline dispatches whatever is queued *by then* (a later request
+  never time-travels into an earlier batch; a stale wakeup — its head
+  already flushed by size — is ignored via its token).
 
 ``max_wait_s=0`` with open-loop traffic degenerates to per-request
-dispatch; ``max_wait_s=0`` with closed-loop (uniform) traffic still
-forms full batches, because simultaneous arrivals hit the size trigger.
-At end of stream the remainder drains at each head's deadline — the
-batcher honours the wait budget it promised rather than peeking at the
-future to learn that no more traffic is coming.
+dispatch; ``max_wait_s=0`` with simultaneous arrivals still forms full
+batches, because they hit the size trigger.  At end of stream the
+remainder drains at each head's promised deadline — the pending
+``Flush`` wakeups simply fire once no arrivals precede them, so the
+batcher never peeks at the future to learn that traffic stopped.
+
+Requests re-queued after a shard failure enter with their *enqueue*
+time as the wait-deadline base (their original ``arrival`` is kept for
+latency accounting); for first-delivery arrivals the two coincide, so
+open-loop behaviour is unchanged from the pre-kernel batcher — flush
+for flush, byte for byte (:meth:`DynamicBatcher.batches` is the same
+logic run on a private kernel).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Tuple
+from typing import Callable, Deque, Iterable, Iterator, List, Tuple
 
 from repro.errors import ServingError
-from repro.serving.traffic import Request
+from repro.serving.events import Arrival, EventKernel, Flush
+from repro.serving.traffic import OpenLoopSource, Request
+
+#: A dispatch callback: ``(kernel, flush_time, batch)``.
+DispatchFn = Callable[[EventKernel, float, List[Request]], None]
 
 
 @dataclass(frozen=True)
@@ -53,42 +66,89 @@ class BatcherOptions:
             )
 
 
+class _BatcherFeed:
+    """Per-run batcher state: the queue and the wait-deadline wakeup.
+
+    Each scheduled :class:`Flush` carries a token; any flush (size or
+    wait) bumps the token, so a wakeup whose head has already left the
+    queue is recognised as stale and ignored.
+    """
+
+    def __init__(self, options: BatcherOptions, dispatch: DispatchFn):
+        self.options = options
+        self.dispatch = dispatch
+        #: (queued_at, request) — queued_at == arrival for first
+        #: deliveries, the re-queue instant for failure re-deliveries.
+        self.queue: Deque[Tuple[float, Request]] = deque()
+        self.token = 0
+
+    def on_arrival(self, kernel: EventKernel, event: Arrival) -> None:
+        self.queue.append((kernel.now, event.request))
+        if len(self.queue) >= self.options.max_batch:
+            self._flush(kernel)
+        elif len(self.queue) == 1:
+            self._schedule_wakeup(kernel)
+
+    def on_flush(self, kernel: EventKernel, event: Flush) -> None:
+        if event.token != self.token or not self.queue:
+            return  # stale wakeup: its head already flushed by size
+        self._flush(kernel)
+
+    def _flush(self, kernel: EventKernel) -> None:
+        batch: List[Request] = []
+        while (
+            self.queue
+            and len(batch) < self.options.max_batch
+            and self.queue[0][0] <= kernel.now
+        ):
+            batch.append(self.queue.popleft()[1])
+        self.token += 1  # any pending wakeup is now stale
+        if self.queue:
+            self._schedule_wakeup(kernel)
+        if batch:
+            self.dispatch(kernel, kernel.now, batch)
+
+    def _schedule_wakeup(self, kernel: EventKernel) -> None:
+        deadline = self.queue[0][0] + self.options.max_wait_s
+        kernel.push(Flush(time=deadline, token=self.token))
+
+
 class DynamicBatcher:
     """Coalesces a request stream into dispatchable batches."""
 
     def __init__(self, options: BatcherOptions = None):
         self.options = options or BatcherOptions()
 
+    def attach(
+        self, kernel: EventKernel, dispatch: DispatchFn
+    ) -> _BatcherFeed:
+        """Register this batcher's handlers on ``kernel``.
+
+        Returns the per-run feed (fresh state — one ``attach`` per
+        run); ``dispatch`` is called with every flushed batch.
+        """
+        feed = _BatcherFeed(self.options, dispatch)
+        kernel.subscribe(Arrival, feed.on_arrival)
+        kernel.subscribe(Flush, feed.on_flush)
+        return feed
+
     def batches(
         self, requests: Iterable[Request]
     ) -> Iterator[Tuple[float, List[Request]]]:
-        """Yield ``(flush_time, batch)`` in nondecreasing flush order."""
-        max_batch = self.options.max_batch
-        max_wait = self.options.max_wait_s
-        queue: deque = deque()
-        for request in sorted(requests, key=lambda r: (r.arrival, r.index)):
-            # Wait trigger: queued heads whose budget expires before
-            # this arrival flush first — the queue may go empty, and
-            # the *next* head then starts a fresh wait window (no stale
-            # deadlines).
-            while queue and queue[0].arrival + max_wait < request.arrival:
-                deadline = queue[0].arrival + max_wait
-                yield deadline, self._drain(queue, deadline, max_batch)
-            queue.append(request)
-            # Size trigger: a full batch flushes at this arrival.
-            if len(queue) >= max_batch:
-                yield request.arrival, self._drain(
-                    queue, request.arrival, max_batch
-                )
-        # End of stream: drain remainders at their promised deadlines.
-        while queue:
-            deadline = queue[0].arrival + max_wait
-            yield deadline, self._drain(queue, deadline, max_batch)
+        """Yield ``(flush_time, batch)`` in nondecreasing flush order.
 
-    @staticmethod
-    def _drain(queue: deque, at: float, max_batch: int) -> List[Request]:
-        """Up to ``max_batch`` queued requests present at time ``at``."""
-        batch: List[Request] = []
-        while queue and len(batch) < max_batch and queue[0].arrival <= at:
-            batch.append(queue.popleft())
-        return batch
+        Standalone view of the batching logic: runs the arrival stream
+        through a private kernel with no shards attached — exactly the
+        event sequence a full serve run would see.
+        """
+        requests = list(requests)
+        if not requests:
+            return iter(())
+        kernel = EventKernel()
+        flushed: List[Tuple[float, List[Request]]] = []
+        self.attach(
+            kernel, lambda _k, at, batch: flushed.append((at, batch))
+        )
+        OpenLoopSource(requests).prime(kernel)
+        kernel.run()
+        return iter(flushed)

@@ -1,0 +1,264 @@
+"""Discrete-event kernel: the virtual-time heart of the serving layer.
+
+Every serving-layer behaviour — open-loop arrivals, dynamic batching,
+scheduling, closed-loop clients, SLO control, shard failures — is
+expressed as *typed events* on one :class:`EventKernel`: a virtual-time
+heap dispatching to pluggable handlers.  The kernel is what lets
+arrivals depend on completions (closed-loop clients), control loops
+observe the system they steer (SLO shedding/rerouting), and scenarios
+perturb it mid-stream (kill/restore a shard) without any component
+knowing about the others.
+
+Determinism is the design invariant: events pop in ``(time, priority,
+sequence)`` order, handlers run in subscription order, and nothing
+reads a wall clock — same sources, same pool, same policy, same
+scenario ⇒ the same event trace, byte for byte.
+
+Event taxonomy (priority breaks same-instant ties, lowest first):
+
+=============  ========  ==================================================
+event          priority  meaning
+=============  ========  ==================================================
+``ShardDown``  0         a shard fails: in-flight work is lost and re-queued
+``ShardUp``    1         a failed shard rejoins the pool
+``BatchDone``  2         one completion instant of a dispatched batch
+``PolicyTick`` 3         a control-loop heartbeat (SLO window re-evaluation)
+``Arrival``    4         one request enters the system
+``Flush``      5         a batcher wait-deadline wakeup
+=============  ========  ==================================================
+
+``ShardDown``/``ShardUp`` precede everything so a scenario applies
+before traffic at the same instant; ``BatchDone`` precedes ``Arrival``
+so a closed-loop client's completion is processed before the arrival it
+causes; ``Arrival`` precedes ``Flush`` so a request arriving exactly at
+a wait deadline joins that flush — the ordering the pre-kernel batcher
+implemented inline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ClassVar,
+    Dict,
+    List,
+    Optional,
+    Type,
+)
+
+from repro.errors import ServingError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only, avoids a cycle
+    from repro.serving.metrics import RequestRecord
+    from repro.serving.traffic import Request
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base event: a virtual timestamp plus a class-level tie priority."""
+
+    time: float
+    priority: ClassVar[int] = 100
+
+
+@dataclass(frozen=True)
+class ShardDown(Event):
+    """Shard ``shard`` fails at ``time``; its in-flight work is lost."""
+
+    shard: str = ""
+    priority: ClassVar[int] = 0
+
+
+@dataclass(frozen=True)
+class ShardUp(Event):
+    """Shard ``shard`` rejoins the pool at ``time`` (fresh timeline)."""
+
+    shard: str = ""
+    priority: ClassVar[int] = 1
+
+
+@dataclass(frozen=True)
+class BatchDone(Event):
+    """One completion instant of a dispatched batch.
+
+    A batch of ``batch_size`` images round-robins over a shard's NI
+    instances, so it completes in rounds: one ``BatchDone`` is emitted
+    per round, carrying the records that finish at that instant
+    (``final`` marks the last round).  ``busy_delta`` is the busy time
+    the shard accrued since the previous round — summed over a batch's
+    rounds it equals the batch makespan, and a mid-batch kill then
+    counts exactly the work that actually completed.
+    """
+
+    shard: str = ""
+    records: List["RequestRecord"] = field(default_factory=list)
+    busy_delta: float = 0.0
+    batch_size: int = 0
+    first: bool = False
+    final: bool = False
+    priority: ClassVar[int] = 2
+
+
+@dataclass(frozen=True)
+class PolicyTick(Event):
+    """A control-loop heartbeat (the SLO controller's cadence)."""
+
+    priority: ClassVar[int] = 3
+
+
+@dataclass(frozen=True)
+class Arrival(Event):
+    """One request enters the system at ``time``.
+
+    ``time`` equals ``request.arrival`` for first deliveries; a request
+    re-queued after a shard failure keeps its original ``arrival`` (so
+    its latency accounts the lost work) but re-enters at the failure
+    instant.
+    """
+
+    request: Optional["Request"] = None
+    priority: ClassVar[int] = 4
+
+
+@dataclass(frozen=True)
+class Flush(Event):
+    """A batcher wait-deadline wakeup; ``token`` marks it stale when the
+    queue head it was scheduled for has already flushed."""
+
+    token: int = 0
+    priority: ClassVar[int] = 5
+
+
+class _Entry:
+    """Heap entry: orders by (time, priority, sequence), cancellable."""
+
+    __slots__ = ("time", "priority", "seq", "event", "cancelled", "popped")
+
+    def __init__(self, event: Event, seq: int):
+        self.time = event.time
+        self.priority = type(event).priority
+        self.seq = seq
+        self.event = event
+        self.cancelled = False
+        self.popped = False
+
+    def __lt__(self, other: "_Entry") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq
+        )
+
+
+Handler = Callable[["EventKernel", Event], None]
+
+
+class EventKernel:
+    """A virtual-time event heap with per-type handler dispatch.
+
+    * :meth:`push` schedules an event (never in the past) and returns a
+      handle that :meth:`cancel` invalidates lazily;
+    * :meth:`subscribe` registers a handler for one event type;
+      handlers run in subscription order;
+    * :meth:`run` pops events in ``(time, priority, sequence)`` order
+      until the heap drains, advancing :attr:`now` monotonically.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._seq = 0
+        self._live: Dict[Type[Event], int] = {}
+        self._handlers: Dict[Type[Event], List[Handler]] = {}
+        self.now = 0.0
+        self.events_processed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def push(self, event: Event) -> _Entry:
+        """Schedule ``event``; returns a cancellable handle."""
+        if event.time < self.now:
+            raise ServingError(
+                f"event {type(event).__name__} scheduled at {event.time} "
+                f"in the past (now {self.now})"
+            )
+        entry = _Entry(event, self._seq)
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        kind = type(event)
+        self._live[kind] = self._live.get(kind, 0) + 1
+        return entry
+
+    def cancel(self, entry: _Entry) -> None:
+        """Invalidate a scheduled event (lazy: skipped when popped).
+
+        Cancelling an entry that already dispatched is a no-op — the
+        pending counts were settled when it popped."""
+        if not entry.cancelled and not entry.popped:
+            entry.cancelled = True
+            self._live[type(entry.event)] -= 1
+
+    def pending(self, event_type: Optional[Type[Event]] = None) -> int:
+        """Live (non-cancelled, not yet popped) events, optionally of
+        one type."""
+        if event_type is not None:
+            return self._live.get(event_type, 0)
+        return sum(self._live.values())
+
+    # -- dispatch ---------------------------------------------------------
+
+    def subscribe(self, event_type: Type[Event], handler: Handler) -> None:
+        """Register ``handler`` for ``event_type`` (subscription order
+        is dispatch order)."""
+        self._handlers.setdefault(event_type, []).append(handler)
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Drain the heap; returns the number of events processed.
+
+        ``max_events`` bounds runaway feedback loops (a closed-loop
+        source that never stops issuing, a tick that always
+        reschedules): exceeding it raises :class:`ServingError` rather
+        than spinning forever.
+        """
+        processed = 0
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.cancelled:
+                continue
+            entry.popped = True
+            self._live[type(entry.event)] -= 1
+            self.now = entry.time
+            processed += 1
+            if processed > max_events:
+                raise ServingError(
+                    f"event budget exhausted after {max_events} events "
+                    "- runaway event loop?"
+                )
+            for handler in self._handlers.get(type(entry.event), ()):
+                handler(self, entry.event)
+        self.events_processed += processed
+        return processed
+
+
+class EventSource:
+    """Something that feeds the kernel: open-loop lists, closed-loop
+    client pools, failure scenarios.
+
+    A source *primes* the kernel with its initial events and may react
+    to completions (:meth:`on_batch_done`) and SLO sheds
+    (:meth:`on_shed`) — which is exactly what makes closed-loop
+    behaviour expressible: the next arrival is a function of a
+    completion.  ``prime`` must (re)initialise all per-run state so one
+    source instance can drive back-to-back runs.
+    """
+
+    def prime(self, kernel: EventKernel) -> None:
+        """Push the source's initial events; reset per-run state."""
+
+    def on_batch_done(self, kernel: EventKernel, event: BatchDone) -> None:
+        """React to a completion instant (closed-loop hooks)."""
+
+    def on_shed(
+        self, kernel: EventKernel, requests: List["Request"], now: float
+    ) -> None:
+        """React to the SLO controller dropping ``requests`` at ``now``."""

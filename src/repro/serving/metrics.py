@@ -75,15 +75,31 @@ class ShardUsage:
 
 @dataclass(frozen=True)
 class ServingReport:
-    """Everything one :meth:`ShardServer.serve` run measured."""
+    """Everything one :meth:`ShardServer.serve` run measured.
+
+    ``shed`` counts requests the SLO controller dropped, ``rerouted``
+    counts requests it steered away from the policy's pick (both zero
+    without a controller), and ``unserved`` counts requests still
+    parked when the run drained — a scenario that killed the whole
+    pool and never restored it.  A report may legitimately hold *zero*
+    records (every request shed or stranded, or a zero-length stream):
+    counts and spans are then 0 and the undefined latency statistics
+    are NaN — no accessor raises.
+    """
 
     records: List[RequestRecord]
     shards: List[ShardUsage]
     total_ops: int
+    shed: int = 0
+    rerouted: int = 0
+    unserved: int = 0
 
     def __post_init__(self) -> None:
-        if not self.records:
-            raise ServingError("a serving report needs at least one record")
+        if self.shed < 0 or self.rerouted < 0 or self.unserved < 0:
+            raise ServingError(
+                "negative shed/reroute/unserved counts: "
+                f"{self.shed}/{self.rerouted}/{self.unserved}"
+            )
 
     # -- aggregate view ---------------------------------------------------
 
@@ -93,17 +109,24 @@ class ServingReport:
 
     @property
     def makespan_seconds(self) -> float:
-        """First arrival to last completion — the Table-4 span."""
+        """First arrival to last completion — the Table-4 span
+        (0.0 when nothing completed)."""
+        if not self.records:
+            return 0.0
         start = min(r.arrival for r in self.records)
         end = max(r.completed for r in self.records)
         return end - start
 
     @property
     def throughput_gops(self) -> float:
+        if self.makespan_seconds <= 0.0:
+            return float("nan")
         return self.total_ops / self.makespan_seconds / 1e9
 
     @property
     def images_per_second(self) -> float:
+        if self.makespan_seconds <= 0.0:
+            return float("nan")  # undefined rate, like throughput_gops
         return self.count / self.makespan_seconds
 
     @property
@@ -117,14 +140,20 @@ class ServingReport:
         return [r.latency for r in self.records]
 
     def latency_percentile(self, q: float) -> float:
+        if not self.records:
+            return float("nan")
         return percentile(self.latencies(), q)
 
     @property
     def mean_latency(self) -> float:
+        if not self.records:
+            return float("nan")
         return sum(self.latencies()) / self.count
 
     @property
     def mean_queue_seconds(self) -> float:
+        if not self.records:
+            return float("nan")
         return sum(r.queue_seconds for r in self.records) / self.count
 
     def per_shard(self) -> Dict[str, ShardUsage]:
@@ -133,6 +162,21 @@ class ServingReport:
     # -- rendering --------------------------------------------------------
 
     def describe(self) -> str:
+        if not self.records:
+            reasons = []
+            if self.shed:
+                reasons.append(f"{self.shed} shed by the SLO controller")
+            if self.rerouted:
+                reasons.append(f"{self.rerouted} rerouted")
+            if self.unserved:
+                reasons.append(
+                    f"{self.unserved} stranded by a shard outage"
+                )
+            return (
+                f"served 0 requests over {len(self.shards)} shard(s): "
+                "nothing completed"
+                + (f" ({', '.join(reasons)})" if reasons else "")
+            )
         latencies = self.latencies()
         lines = [
             f"served {self.count} requests over "
@@ -148,6 +192,16 @@ class ServingReport:
             f"max {max(latencies) * 1e3:.2f} "
             f"(queue {self.mean_queue_seconds * 1e3:.2f} mean)",
         ]
+        if self.shed or self.rerouted:
+            lines.append(
+                f"  slo: {self.shed} request(s) shed, "
+                f"{self.rerouted} rerouted"
+            )
+        if self.unserved:
+            lines.append(
+                f"  {self.unserved} request(s) left unserved by a "
+                "shard outage"
+            )
         for usage in self.shards:
             lines.append(
                 f"  {usage.name:12s} {usage.requests:5d} requests in "

@@ -1,0 +1,170 @@
+"""Failure scenarios: kill and restore shards at virtual times.
+
+A scenario is just another event source — it primes
+:class:`~repro.serving.events.ShardDown` /
+:class:`~repro.serving.events.ShardUp` events onto the kernel, and the
+scheduler + server react: the dying shard's in-flight requests are
+re-queued (keeping their original arrival, so their latency accounts
+the lost work), the scheduling policy rebalances over the survivors,
+and a restored shard rejoins with a fresh timeline
+(:meth:`~repro.serving.shard.Shard.reset` is the underlying hook).
+
+The CLI spec grammar (``repro serve --scenario ...``) is a
+comma-separated list of::
+
+    kill:<shard>@<seconds>      take <shard> down at a virtual time
+    restore:<shard>@<seconds>   bring <shard> back
+    restore@<seconds>           shorthand: restores the last-killed shard
+
+e.g. ``kill:shard0@0.05,restore@0.12`` — kill ``shard0`` 50 ms in,
+restore it at 120 ms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ServingError
+from repro.serving.events import EventKernel, ShardDown, ShardUp
+from repro.serving.shard import ShardPool
+
+#: Scenario verbs understood by :meth:`FailureScenario.parse`.
+SCENARIO_KINDS = ("kill", "restore")
+
+
+@dataclass(frozen=True)
+class ScenarioStep:
+    """One perturbation: ``kill`` or ``restore`` a shard at a time."""
+
+    kind: str
+    shard: str
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCENARIO_KINDS:
+            raise ServingError(
+                f"unknown scenario step {self.kind!r}; "
+                f"expected one of {SCENARIO_KINDS}"
+            )
+        if not math.isfinite(self.at) or self.at < 0:
+            raise ServingError(
+                f"scenario step {self.kind}:{self.shard} at {self.at}: "
+                "time must be finite and >= 0"
+            )
+        if not self.shard:
+            raise ServingError(f"scenario step {self.kind} names no shard")
+
+
+class FailureScenario:
+    """An ordered set of kill/restore steps, primed as kernel events."""
+
+    def __init__(self, steps: Sequence[ScenarioStep]):
+        if not steps:
+            raise ServingError("a scenario needs at least one step")
+        self.steps: List[ScenarioStep] = sorted(
+            steps, key=lambda step: (step.at, step.kind != "kill")
+        )
+        # Per shard, the time-ordered steps must alternate kill ->
+        # restore: a restore with no preceding kill (including one the
+        # sort moved *before* its kill) or a double kill would execute
+        # as a silent no-op instead of what the spec seems to say.
+        down = set()
+        for step in self.steps:
+            if step.kind == "kill":
+                if step.shard in down:
+                    raise ServingError(
+                        f"scenario kills {step.shard!r} at {step.at} "
+                        "while it is already down"
+                    )
+                down.add(step.shard)
+            else:
+                if step.shard not in down:
+                    raise ServingError(
+                        f"scenario restores {step.shard!r} at {step.at} "
+                        "before any kill takes it down"
+                    )
+                down.discard(step.shard)
+
+    @classmethod
+    def parse(cls, spec: str) -> "FailureScenario":
+        """Parse the CLI grammar (see module docstring)."""
+        steps: List[ScenarioStep] = []
+        last_killed = ""
+        for raw in spec.split(","):
+            token = raw.strip()
+            if not token:
+                continue
+            head, sep, when = token.partition("@")
+            if not sep:
+                raise ServingError(
+                    f"scenario step {token!r}: expected "
+                    "kill:<shard>@<t> or restore[:<shard>]@<t>"
+                )
+            try:
+                at = float(when)
+            except ValueError:
+                raise ServingError(
+                    f"scenario step {token!r}: bad time {when!r}"
+                ) from None
+            kind, sep, shard = head.partition(":")
+            if kind == "restore" and not sep:
+                if not last_killed:
+                    raise ServingError(
+                        f"scenario step {token!r}: restore@<t> needs a "
+                        "preceding kill to name the shard"
+                    )
+                shard = last_killed
+            steps.append(ScenarioStep(kind=kind, shard=shard, at=at))
+            if kind == "kill":
+                last_killed = shard
+        if not steps:
+            raise ServingError(f"empty scenario spec {spec!r}")
+        return cls(steps)
+
+    @classmethod
+    def kill(
+        cls, shard: str, at: float, restore_at: float = None
+    ) -> "FailureScenario":
+        """Convenience: kill ``shard`` at ``at``, optionally restore."""
+        steps = [ScenarioStep("kill", shard, at)]
+        if restore_at is not None:
+            if restore_at < at:
+                raise ServingError(
+                    f"restore at {restore_at} precedes kill at {at}"
+                )
+            steps.append(ScenarioStep("restore", shard, restore_at))
+        return cls(steps)
+
+    def prime(self, kernel: EventKernel, pool: ShardPool) -> None:
+        """Validate against ``pool`` and push the scenario's events."""
+        names = {shard.name for shard in pool}
+        for step in self.steps:
+            if step.shard not in names:
+                raise ServingError(
+                    f"scenario names unknown shard {step.shard!r}; "
+                    f"pool has {sorted(names)}"
+                )
+            event = ShardDown if step.kind == "kill" else ShardUp
+            kernel.push(event(time=step.at, shard=step.shard))
+
+    def spans(self) -> List[Tuple[str, float, float]]:
+        """Down intervals per shard as ``(shard, down_at, up_at)``
+        (``inf`` when never restored) — for reporting."""
+        out: List[Tuple[str, float, float]] = []
+        open_at = {}
+        for step in self.steps:
+            if step.kind == "kill":
+                open_at.setdefault(step.shard, step.at)
+            elif step.shard in open_at:
+                out.append((step.shard, open_at.pop(step.shard), step.at))
+        for shard, at in sorted(open_at.items()):
+            out.append((shard, at, float("inf")))
+        return out
+
+    def describe(self) -> str:
+        return ", ".join(
+            f"{step.kind} {step.shard} @ {step.at * 1e3:.1f} ms"
+            for step in self.steps
+        )

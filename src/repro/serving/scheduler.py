@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import List, Sequence, Union
 
 from repro.errors import ServingError
+from repro.serving.events import EventKernel, ShardDown, ShardUp
 from repro.serving.shard import Shard
 
 #: Policy names understood by :func:`make_policy` and the CLI.
@@ -97,7 +98,17 @@ def make_policy(name: str) -> SchedulingPolicy:
 
 
 class Scheduler:
-    """Routes flushed batches to shards under one policy."""
+    """Routes flushed batches to shards under one policy.
+
+    On the event kernel the scheduler is the availability authority:
+    :meth:`attach` subscribes it to
+    :class:`~repro.serving.events.ShardDown` /
+    :class:`~repro.serving.events.ShardUp`, and every assignment sees
+    only the shards that are up at that instant.  Policies are blind to
+    failures — they select over the available subsequence, so a policy
+    written for the full pool rebalances over the survivors for free
+    (round-robin's rotation simply wraps over fewer shards).
+    """
 
     def __init__(
         self,
@@ -107,20 +118,51 @@ class Scheduler:
         if not shards:
             raise ServingError("scheduler needs at least one shard")
         self.shards: List[Shard] = list(shards)
+        self._by_name = {shard.name: shard for shard in self.shards}
         self.policy = make_policy(policy) if isinstance(policy, str) else (
             policy
         )
+
+    def attach(self, kernel: EventKernel) -> None:
+        """Subscribe the availability handlers on ``kernel``."""
+        kernel.subscribe(ShardDown, self._on_shard_down)
+        kernel.subscribe(ShardUp, self._on_shard_up)
+
+    def _on_shard_down(self, kernel: EventKernel, event: ShardDown) -> None:
+        self.shard_named(event.shard).fail()
+
+    def _on_shard_up(self, kernel: EventKernel, event: ShardUp) -> None:
+        self.shard_named(event.shard).restore()
+
+    def shard_named(self, name: str) -> Shard:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ServingError(
+                f"unknown shard {name!r}; pool has "
+                f"{sorted(self._by_name)}"
+            ) from None
+
+    def available(self) -> List[Shard]:
+        """The shards currently up, in pool order."""
+        return [shard for shard in self.shards if shard.up]
 
     def reset(self) -> None:
         """Forget per-run policy state (round-robin's rotation)."""
         self.policy.reset()
 
     def assign(self, batch_size: int, now: float) -> Shard:
-        """The shard that should run a ``batch_size`` batch at ``now``."""
-        index = self.policy.select(self.shards, batch_size, now)
-        if not 0 <= index < len(self.shards):
+        """The shard that should run a ``batch_size`` batch at ``now``.
+
+        Only shards that are up are candidates; with every shard down
+        this raises (the server parks batches instead of calling in)."""
+        shards = self.available()
+        if not shards:
+            raise ServingError("no shard available: the whole pool is down")
+        index = self.policy.select(shards, batch_size, now)
+        if not 0 <= index < len(shards):
             raise ServingError(
                 f"policy {self.policy.name!r} selected shard {index} of "
-                f"{len(self.shards)}"
+                f"{len(shards)}"
             )
-        return self.shards[index]
+        return shards[index]

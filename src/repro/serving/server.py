@@ -1,11 +1,32 @@
-"""The serve loop: traffic -> DynamicBatcher -> Scheduler -> shards.
+"""The serve loop: event sources -> kernel -> batcher/scheduler/shards.
 
-:class:`ShardServer` is a discrete-event simulation in virtual time:
-the batcher turns the arrival stream into ``(flush_time, batch)``
-events, the scheduler picks a shard per batch, and the shard places
-the batch on its timeline.  Flush times are nondecreasing and every
-shard-state read happens at the flush instant, so the run is
-deterministic — same traffic, same pool, same policy, same report.
+:class:`ShardServer` runs one discrete-event simulation per
+:meth:`~ShardServer.serve` call on a fresh
+:class:`~repro.serving.events.EventKernel`:
+
+* **sources** (open-loop lists, closed-loop client pools, failure
+  scenarios) prime the kernel with their initial events;
+* the **batcher** consumes ``Arrival`` events and dispatches batches
+  (size trigger inline, wait trigger via ``Flush`` wakeups);
+* the **scheduler** picks an available shard per batch (its
+  ``ShardDown``/``ShardUp`` handlers maintain availability);
+* each **shard** places the batch on its virtual timeline, and the
+  server emits one ``BatchDone`` per completion round — the events
+  that feed closed-loop clients, the SLO controller's latency window,
+  and the usage accounting;
+* an optional **SLO controller** sheds or reroutes dispatches while
+  its windowed p99 estimate is breached;
+* a **failure scenario** kills/restores shards mid-stream: the dying
+  shard's pending completion events are cancelled and its un-completed
+  requests re-enter the batcher at the failure instant (original
+  arrival kept, so their latency accounts the lost work); with the
+  whole pool down, batches park and re-dispatch on the next restore
+  (parked forever ⇒ counted in ``ServingReport.unserved``).
+
+Everything is deterministic: same traffic, same pool, same policy (and
+same scenario/SLO options) ⇒ same :class:`ServingReport`, byte for
+byte.  Open-loop runs produce the exact flush/assign/execute sequence
+of the pre-kernel implementation.
 
 :func:`analytical_reference` computes the
 :class:`~repro.runtime.batch.BatchRunner` number the acceptance
@@ -17,61 +38,282 @@ with it to well under 1%.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ServingError
 from repro.serving.batcher import BatcherOptions, DynamicBatcher
+from repro.serving.events import (
+    Arrival,
+    BatchDone,
+    EventKernel,
+    EventSource,
+    ShardDown,
+    ShardUp,
+)
 from repro.serving.metrics import RequestRecord, ServingReport, ShardUsage
-from repro.serving.scheduler import Scheduler, SchedulingPolicy
-from repro.serving.shard import ShardPool
-from repro.serving.traffic import Request
+from repro.serving.scenarios import FailureScenario
+from repro.serving.scheduler import (
+    Scheduler,
+    SchedulingPolicy,
+    ShortestExpectedLatency,
+)
+from repro.serving.shard import Shard, ShardPool
+from repro.serving.slo import SloController, SloOptions
+from repro.serving.traffic import OpenLoopSource, Request
+
+#: What ``serve`` accepts: an open-loop request list or one event
+#: source.  One source per run: request indices are the identity that
+#: keys completion bookkeeping, and independent sources would mint
+#: colliding indices.
+Traffic = Union[Sequence[Request], EventSource]
+
+
+class _Usage:
+    """Mutable per-shard accumulator, event-sourced from ``BatchDone``.
+
+    Counting *completions* (not dispatches) is what makes failure
+    scenarios honest: work lost to a kill was executed but never
+    finished, so it appears in no shard's usage and in no record.
+    """
+
+    __slots__ = ("requests", "batches", "busy_seconds")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.batches = 0
+        self.busy_seconds = 0.0
+
+
+class _ServeRun:
+    """One serve() invocation: kernel wiring + run state."""
+
+    def __init__(
+        self,
+        server: "ShardServer",
+        source: EventSource,
+        scenario: Optional[FailureScenario],
+    ):
+        self.server = server
+        self.source = source
+        self.scenario = scenario
+        self.kernel = EventKernel()
+        self.slo = (
+            SloController(server.slo) if server.slo is not None else None
+        )
+        self.records: List[RequestRecord] = []
+        self.usage: Dict[str, _Usage] = {
+            shard.name: _Usage() for shard in server.pool
+        }
+        #: Pending completion entries per shard: (heap entry, event).
+        self.inflight: Dict[str, List] = {
+            shard.name: [] for shard in server.pool
+        }
+        self.total_ops = 0
+        self.shed = 0
+        self.rerouted = 0
+        self._reroute_policy = ShortestExpectedLatency()
+        self.parked: List[List[Request]] = []
+
+    # -- wiring -----------------------------------------------------------
+
+    def execute(self) -> ServingReport:
+        kernel = self.kernel
+        server = self.server
+        server.pool.reset()
+        server.scheduler.reset()
+        # Subscription order is dispatch order: the scheduler flips
+        # availability first, then the server reworks in-flight /
+        # parked batches against the new availability.
+        server.scheduler.attach(kernel)
+        server.batcher.attach(kernel, self._dispatch)
+        kernel.subscribe(BatchDone, self._on_batch_done)
+        kernel.subscribe(ShardDown, self._on_shard_down)
+        kernel.subscribe(ShardUp, self._on_shard_up)
+        if self.slo is not None:
+            self.slo.attach(kernel)
+        if self.scenario is not None:
+            self.scenario.prime(kernel, server.pool)
+        self.source.prime(kernel)
+        kernel.run()
+        return self._report()
+
+    # -- dispatch path ----------------------------------------------------
+
+    def _dispatch(
+        self, kernel: EventKernel, at: float, batch: List[Request]
+    ) -> None:
+        if self.slo is not None and self.slo.should_shed():
+            self.shed += len(batch)
+            self.source.on_shed(kernel, batch, at)
+            return
+        scheduler = self.server.scheduler
+        available = scheduler.available()
+        if not available:
+            self.parked.append(batch)
+            return
+        shard = scheduler.assign(len(batch), at)
+        if self.slo is not None and self.slo.should_reroute():
+            # Reroute = override the configured policy with the
+            # expected-completion ranking (the shortest-latency policy
+            # itself, over the same availability-ordered shards).
+            best = available[
+                self._reroute_policy.select(available, len(batch), at)
+            ]
+            if best is not shard:
+                shard = best
+                self.rerouted += len(batch)
+        self._execute(kernel, shard, batch, at)
+
+    def _execute(
+        self,
+        kernel: EventKernel,
+        shard: Shard,
+        batch: List[Request],
+        at: float,
+    ) -> None:
+        records = shard.execute(batch, at)
+        start = records[0].started
+        rounds = shard.runner.completion_groups(len(batch))
+        taken = 0
+        previous = start
+        for offset, images in rounds:
+            completed = start + offset
+            event = BatchDone(
+                time=completed,
+                shard=shard.name,
+                records=records[taken:taken + images],
+                busy_delta=completed - previous,
+                batch_size=len(batch),
+                first=taken == 0,
+                final=taken + images == len(batch),
+            )
+            self.inflight[shard.name].append(
+                (kernel.push(event), event)
+            )
+            taken += images
+            previous = completed
+
+    # -- completion path --------------------------------------------------
+
+    def _on_batch_done(self, kernel: EventKernel, event: BatchDone) -> None:
+        pending = self.inflight[event.shard]
+        for position, (_entry, candidate) in enumerate(pending):
+            if candidate is event:
+                del pending[position]
+                break
+        self.records.extend(event.records)
+        usage = self.usage[event.shard]
+        usage.requests += len(event.records)
+        usage.busy_seconds += event.busy_delta
+        # Count the batch with its first delivered round, so a batch
+        # whose tail rounds are killed still appears wherever its
+        # completed requests do.
+        if event.first:
+            usage.batches += 1
+        shard = self.server.scheduler.shard_named(event.shard)
+        self.total_ops += shard.ops_per_image * len(event.records)
+        self.source.on_batch_done(kernel, event)
+
+    # -- failure path -----------------------------------------------------
+
+    def _on_shard_down(self, kernel: EventKernel, event: ShardDown) -> None:
+        """Re-queue the failed shard's un-completed requests.
+
+        The scheduler's own handler (subscribed first) has already
+        failed the shard — timeline wiped via ``Shard.reset``, routing
+        disabled.  Here the lost work re-enters the batcher at the kill
+        instant with its original arrival preserved.
+        """
+        lost: List[RequestRecord] = []
+        for entry, pending in self.inflight[event.shard]:
+            kernel.cancel(entry)
+            lost.extend(pending.records)
+        self.inflight[event.shard].clear()
+        for record in sorted(lost, key=lambda r: r.index):
+            kernel.push(
+                Arrival(
+                    time=kernel.now,
+                    request=Request(record.index, record.arrival),
+                )
+            )
+
+    def _on_shard_up(self, kernel: EventKernel, event: ShardUp) -> None:
+        """Re-dispatch batches that parked while the pool was down."""
+        parked, self.parked = self.parked, []
+        for batch in parked:
+            self._dispatch(kernel, kernel.now, batch)
+
+    # -- reporting --------------------------------------------------------
+
+    def _report(self) -> ServingReport:
+        self.records.sort(key=lambda record: record.index)
+        unserved = sum(len(batch) for batch in self.parked)
+        usage = [
+            ShardUsage(
+                name=shard.name,
+                requests=self.usage[shard.name].requests,
+                batches=self.usage[shard.name].batches,
+                busy_seconds=self.usage[shard.name].busy_seconds,
+            )
+            for shard in self.server.pool
+        ]
+        return ServingReport(
+            records=self.records,
+            shards=usage,
+            total_ops=self.total_ops,
+            shed=self.shed,
+            rerouted=self.rerouted,
+            unserved=unserved,
+        )
 
 
 class ShardServer:
-    """Serve a finite request stream over a shard pool."""
+    """Serve a finite traffic workload over a shard pool."""
 
     def __init__(
         self,
         pool: ShardPool,
-        policy="round-robin",
+        policy: Union[str, SchedulingPolicy] = "round-robin",
         batcher: Optional[BatcherOptions] = None,
+        slo: Optional[SloOptions] = None,
     ):
         self.pool = pool
         self.scheduler = Scheduler(pool.shards, policy)
         self.batcher = DynamicBatcher(batcher)
+        self.slo = slo
+        #: The controller of the most recent run (its windowed estimate
+        #: and tick counters), for inspection/printing.
+        self.last_slo_controller: Optional[SloController] = None
 
-    def serve(self, requests: Sequence[Request]) -> ServingReport:
-        """Run the whole stream; returns the aggregate report.
+    def serve(
+        self,
+        traffic: Traffic,
+        scenario: Optional[FailureScenario] = None,
+    ) -> ServingReport:
+        """Run one workload; returns the aggregate report.
 
-        The pool's virtual timelines and the policy's per-run state
-        (round-robin's rotation) are reset first, so back-to-back
-        ``serve`` calls measure independent runs (the timing probes
-        stay warm).
+        ``traffic`` is a request list (open loop) or exactly one
+        :class:`~repro.serving.events.EventSource`.  The pool's
+        virtual timelines, the policy's per-run state and the source's
+        per-run state are reset first, so back-to-back ``serve`` calls
+        measure independent runs (the timing probes stay warm).
         """
-        if not requests:
+        run = _ServeRun(self, self._source(traffic), scenario)
+        self.last_slo_controller = run.slo
+        return run.execute()
+
+    @staticmethod
+    def _source(traffic: Traffic) -> EventSource:
+        if isinstance(traffic, EventSource):
+            return traffic
+        traffic = list(traffic)
+        if not traffic:
             raise ServingError("nothing to serve: empty request stream")
-        self.pool.reset()
-        self.scheduler.reset()
-        records: List[RequestRecord] = []
-        for flush_time, batch in self.batcher.batches(requests):
-            shard = self.scheduler.assign(len(batch), flush_time)
-            records.extend(shard.execute(batch, flush_time))
-        records.sort(key=lambda record: record.index)
-        total_ops = sum(
-            shard.ops_per_image * shard.images_served
-            for shard in self.pool
-        )
-        usage = [
-            ShardUsage(
-                name=shard.name,
-                requests=shard.images_served,
-                batches=shard.batches_served,
-                busy_seconds=shard.busy_seconds,
-            )
-            for shard in self.pool
-        ]
-        return ServingReport(
-            records=records, shards=usage, total_ops=total_ops
+        if all(isinstance(item, Request) for item in traffic):
+            return OpenLoopSource(traffic)
+        raise ServingError(
+            "traffic must be a Request list or ONE EventSource: "
+            "independent sources would mint colliding request indices"
         )
 
 

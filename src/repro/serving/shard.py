@@ -49,10 +49,16 @@ class Shard:
         #: data-independent, so re-simulating the probe per shard would
         #: measure the same number N times).
         self._probe_of = probe_of
+        #: Availability flag driven by failure scenarios
+        #: (:class:`~repro.serving.events.ShardDown` /
+        #: :class:`~repro.serving.events.ShardUp`); the scheduler only
+        #: routes to shards that are up.
+        self.up = True
+        #: The virtual-time horizon up to which queued work drains.
+        #: Usage *statistics* live in the server's completion-sourced
+        #: accounting, not here — a dispatch-time counter would count
+        #: work a failure scenario later destroys.
         self.busy_until = 0.0
-        self.images_served = 0
-        self.batches_served = 0
-        self.busy_seconds = 0.0
 
     # -- static properties ------------------------------------------------
 
@@ -131,19 +137,25 @@ class Shard:
                     batch_size=len(batch),
                 )
             )
-        makespan = records[-1].completed - start
-        self.busy_until = start + makespan
-        self.images_served += len(batch)
-        self.batches_served += 1
-        self.busy_seconds += makespan
+        self.busy_until = records[-1].completed
         return records
 
     def reset(self) -> None:
-        """Clear the virtual timeline (timing probe stays warm)."""
+        """Clear the virtual timeline and mark the shard available
+        (timing probe stays warm)."""
+        self.up = True
         self.busy_until = 0.0
-        self.images_served = 0
-        self.batches_served = 0
-        self.busy_seconds = 0.0
+
+    def fail(self) -> None:
+        """Take the shard down: the timeline is wiped (in-flight work
+        is lost — the server re-queues it) and the scheduler stops
+        routing here until :meth:`restore`."""
+        self.reset()
+        self.up = False
+
+    def restore(self) -> None:
+        """Bring a failed shard back with a fresh timeline."""
+        self.up = True
 
     def describe(self) -> str:
         return (
@@ -220,6 +232,20 @@ class ShardPool:
         """Analytical aggregate service rate (images/s) of the pool."""
         return sum(
             shard.instances / shard.analytical_seconds()
+            for shard in self.shards
+        )
+
+    def simulated_images_per_second(self) -> float:
+        """Probe-measured aggregate service rate (images/s).
+
+        :meth:`capacity_images_per_second` is the Eq. 12-15 *estimate*;
+        this is the same quantity from each shard's simulated timing
+        probe.  Use it when an overload factor must mean what it says
+        in simulated time (the estimate can be several times optimistic
+        on quantised configs, turning "1.2x capacity" traffic into a
+        de-facto closed batch)."""
+        return sum(
+            shard.instances / shard.probe_seconds()
             for shard in self.shards
         )
 

@@ -1,0 +1,155 @@
+"""SLO-aware control: shed or reroute when the observed tail drifts.
+
+A latency SLO ("p99 under X ms") cannot be enforced by open-loop
+accounting — the controller has to *watch* the system it steers.  On
+the event kernel that is natural: :class:`SloController` subscribes to
+:class:`~repro.serving.events.BatchDone` events to maintain a sliding
+window of observed end-to-end latencies, and re-evaluates a windowed
+nearest-rank p99 estimate on periodic
+:class:`~repro.serving.events.PolicyTick` heartbeats.  While the
+estimate exceeds the target the controller is *breached* and the server
+applies the configured action to every batch it dispatches:
+
+* ``shed`` — drop the batch (clients are notified so closed loops do
+  not stall); counted per request in ``ServingReport.shed``;
+* ``reroute`` — override the scheduling policy with the shard whose
+  expected completion (Eq. 12-15 service estimate + measured backlog)
+  is earliest; counted in ``ServingReport.rerouted`` when the override
+  actually changed the pick.
+
+Control state only changes on ticks — decisions are piecewise-constant
+at the controller's cadence, like a real control loop, and the tick
+chain ends itself once no other events remain, so a run always
+terminates.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import ServingError
+from repro.serving.events import BatchDone, EventKernel, PolicyTick
+from repro.serving.metrics import percentile
+
+#: Actions understood by :class:`SloOptions` and the CLI.
+SLO_ACTIONS = ("shed", "reroute")
+
+
+@dataclass(frozen=True)
+class SloOptions:
+    """The SLO contract and the control loop's knobs.
+
+    ``p99_target_s`` is the latency objective; ``window`` bounds how
+    many recent completions the p99 estimate sees (a long window reacts
+    slowly, a short one flaps); ``min_samples`` suppresses decisions
+    before the window holds enough evidence; ``tick_s`` is the control
+    period (default: half the target — Nyquist for the quantity being
+    controlled).
+    """
+
+    p99_target_s: float
+    action: str = "shed"
+    window: int = 64
+    min_samples: int = 8
+    tick_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.p99_target_s <= 0:
+            raise ServingError(
+                f"p99 target must be positive, got {self.p99_target_s}"
+            )
+        if self.action not in SLO_ACTIONS:
+            raise ServingError(
+                f"unknown SLO action {self.action!r}; "
+                f"expected one of {SLO_ACTIONS}"
+            )
+        if self.min_samples < 1:
+            raise ServingError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+        if self.window < self.min_samples:
+            raise ServingError(
+                f"window ({self.window}) must hold at least min_samples "
+                f"({self.min_samples}) completions"
+            )
+        if self.tick_s is not None and self.tick_s <= 0:
+            raise ServingError(
+                f"tick_s must be positive, got {self.tick_s}"
+            )
+
+    @property
+    def effective_tick_s(self) -> float:
+        return self.tick_s if self.tick_s is not None else (
+            self.p99_target_s / 2.0
+        )
+
+
+class SloController:
+    """Windowed-p99 feedback controller as a kernel event handler."""
+
+    def __init__(self, options: SloOptions):
+        self.options = options
+        self._window: Deque[float] = deque(maxlen=options.window)
+        self.breached = False
+        self.ticks = 0
+        self.breach_ticks = 0
+
+    def attach(self, kernel: EventKernel) -> None:
+        """Subscribe the observation + heartbeat handlers and start the
+        tick chain."""
+        kernel.subscribe(BatchDone, self._on_batch_done)
+        kernel.subscribe(PolicyTick, self._on_tick)
+        kernel.push(
+            PolicyTick(time=kernel.now + self.options.effective_tick_s)
+        )
+
+    # -- observation ------------------------------------------------------
+
+    def _on_batch_done(self, kernel: EventKernel, event: BatchDone) -> None:
+        for record in event.records:
+            self._window.append(record.latency)
+
+    def p99_estimate(self) -> float:
+        """Nearest-rank p99 over the observation window (NaN when
+        empty)."""
+        if not self._window:
+            return float("nan")
+        return percentile(list(self._window), 99)
+
+    # -- control ----------------------------------------------------------
+
+    def _on_tick(self, kernel: EventKernel, event: PolicyTick) -> None:
+        self.ticks += 1
+        if len(self._window) >= self.options.min_samples:
+            self.breached = (
+                self.p99_estimate() > self.options.p99_target_s
+            )
+        else:
+            self.breached = False
+        if self.breached:
+            self.breach_ticks += 1
+        # Keep ticking only while the system still has non-tick events
+        # in flight — the chain ends itself when the run drains.
+        if kernel.pending() - kernel.pending(PolicyTick) > 0:
+            kernel.push(
+                PolicyTick(
+                    time=kernel.now + self.options.effective_tick_s
+                )
+            )
+
+    def should_shed(self) -> bool:
+        return self.breached and self.options.action == "shed"
+
+    def should_reroute(self) -> bool:
+        return self.breached and self.options.action == "reroute"
+
+    def describe(self) -> str:
+        p99 = self.p99_estimate()
+        estimate = f"{p99 * 1e3:.2f} ms" if p99 == p99 else "n/a"
+        return (
+            f"slo: p99 target {self.options.p99_target_s * 1e3:.2f} ms, "
+            f"action {self.options.action}, windowed estimate {estimate}, "
+            f"{self.breach_ticks}/{self.ticks} ticks breached"
+        )

@@ -1,11 +1,11 @@
 """Synthetic traffic generation for the serving layer.
 
-The serving simulator is driven by *virtual* arrival timestamps, so a
-traffic model is just a deterministic function from (count, rate, seed)
-to a sorted list of :class:`Request` objects.  Four models cover the
-scenarios the benchmarks exercise:
+The serving simulator is driven by *virtual* arrival timestamps, so an
+*open-loop* traffic model is just a deterministic function from
+(count, rate, seed) to a sorted list of :class:`Request` objects.
+Four models cover the scenarios the benchmarks exercise:
 
-* ``uniform`` — a closed-loop batch: every request is present at t=0
+* ``uniform`` — one closed batch: every request is present at t=0
   (the :class:`~repro.runtime.batch.BatchRunner` comparison case);
 * ``fixed-qps`` — an open loop with deterministic ``1/qps`` spacing;
 * ``poisson`` — an open loop with exponential inter-arrival times of
@@ -13,19 +13,31 @@ scenarios the benchmarks exercise:
 * ``burst`` — groups of simultaneous requests spaced so the *average*
   rate is still ``qps`` (tests the batcher's coalescing and the tail
   behaviour of the schedulers).
+
+On the event kernel every traffic model is an
+:class:`~repro.serving.events.EventSource`: :class:`OpenLoopSource`
+wraps any pre-materialised request list (arrivals independent of
+completions), and :class:`ClosedLoopClientPool` implements the classic
+closed-loop methodology — N clients, each issuing its next request one
+think time after its previous one *completes*, so the arrival process
+depends on the system's own behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ServingError
+from repro.serving.events import Arrival, BatchDone, EventKernel, EventSource
 
 #: Traffic models understood by :func:`make_requests` and the CLI.
 TRAFFIC_MODELS = ("uniform", "fixed-qps", "poisson", "burst")
+
+#: Think-time distributions of :class:`ClosedLoopClientPool`.
+THINK_DISTRIBUTIONS = ("fixed", "exponential")
 
 
 @dataclass(frozen=True)
@@ -109,6 +121,111 @@ def make_requests(
         Request(index=index, arrival=float(arrival))
         for index, arrival in enumerate(arrivals)
     ]
+
+
+class OpenLoopSource(EventSource):
+    """An arrival stream that ignores completions.
+
+    Wraps any pre-materialised request list (every ``make_requests``
+    model) as an event source: priming pushes one
+    :class:`~repro.serving.events.Arrival` per request, sorted by
+    ``(arrival, index)`` so simultaneous arrivals enter in index order —
+    the order the pre-kernel batcher consumed them in.
+    """
+
+    def __init__(self, requests: Sequence[Request]):
+        if not requests:
+            raise ServingError("nothing to serve: empty request stream")
+        self.requests = sorted(requests, key=lambda r: (r.arrival, r.index))
+
+    def prime(self, kernel: EventKernel) -> None:
+        for request in self.requests:
+            kernel.push(Arrival(time=request.arrival, request=request))
+
+
+class ClosedLoopClientPool(EventSource):
+    """N closed-loop clients with think time — arrivals that depend on
+    completions.
+
+    Each client keeps exactly one request outstanding: all clients
+    issue at t=0, and a client issues its next request one think time
+    after its previous request *completes* (or is shed — a dropped
+    request does not stall its client forever).  ``requests`` bounds
+    the total issued across all clients, so a run always terminates.
+
+    Think times are ``fixed`` (always ``think_time_s``) or
+    ``exponential`` (mean ``think_time_s``, seeded — draws happen in
+    deterministic completion order, so a run is exactly reproducible).
+    """
+
+    def __init__(
+        self,
+        clients: int,
+        requests: int,
+        think_time_s: float = 0.0,
+        distribution: str = "fixed",
+        seed: int = 2020,
+    ):
+        if clients < 1:
+            raise ServingError(f"client count must be >= 1, got {clients}")
+        if requests < 0:
+            raise ServingError(
+                f"total requests must be >= 0, got {requests}"
+            )
+        if think_time_s < 0:
+            raise ServingError(
+                f"think time must be >= 0, got {think_time_s}"
+            )
+        if distribution not in THINK_DISTRIBUTIONS:
+            raise ServingError(
+                f"unknown think-time distribution {distribution!r}; "
+                f"expected one of {THINK_DISTRIBUTIONS}"
+            )
+        self.clients = clients
+        self.requests = requests
+        self.think_time_s = think_time_s
+        self.distribution = distribution
+        self.seed = seed
+        self._rng: Optional[np.random.Generator] = None
+        self._owner: Dict[int, int] = {}  # outstanding index -> client
+        self._issued = 0
+
+    def prime(self, kernel: EventKernel) -> None:
+        """All clients issue their first request at t=0 (per-run state
+        is reset, so one pool can drive back-to-back runs)."""
+        self._rng = np.random.default_rng(self.seed)
+        self._owner = {}
+        self._issued = 0
+        for client in range(min(self.clients, self.requests)):
+            self._issue(kernel, client, at=0.0)
+
+    def _think(self) -> float:
+        if self.distribution == "exponential" and self.think_time_s > 0:
+            return float(self._rng.exponential(scale=self.think_time_s))
+        return self.think_time_s
+
+    def _issue(self, kernel: EventKernel, client: int, at: float) -> None:
+        index = self._issued
+        self._issued += 1
+        self._owner[index] = client
+        kernel.push(Arrival(time=at, request=Request(index, at)))
+
+    def _advance(self, kernel: EventKernel, index: int, at: float) -> None:
+        client = self._owner.pop(index, None)
+        if client is not None and self._issued < self.requests:
+            self._issue(kernel, client, at=at + self._think())
+
+    def on_batch_done(self, kernel: EventKernel, event: BatchDone) -> None:
+        for record in event.records:
+            self._advance(kernel, record.index, event.time)
+
+    def on_shed(
+        self, kernel: EventKernel, requests: List[Request], now: float
+    ) -> None:
+        """A shed request unblocks its client like a completion would:
+        the client thinks, then issues its next request."""
+        for request in requests:
+            self._advance(kernel, request.index, now)
 
 
 def _check_count(count: int) -> None:

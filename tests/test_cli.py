@@ -116,6 +116,71 @@ class TestCommands:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["serve", "--policy", "fifo"])
 
+    def test_serve_seed_reproduces_poisson_runs(self, capsys):
+        args = [
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--shards", "2", "--traffic", "poisson", "--requests", "12",
+            "--qps", "5000",
+        ]
+        assert main(args + ["--seed", "5"]) == 0
+        first = capsys.readouterr().out
+        assert main(args + ["--seed", "5"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert main(args + ["--seed", "6"]) == 0
+        assert capsys.readouterr().out != first
+
+    def test_serve_closed_loop(self, capsys):
+        rc = main([
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--shards", "2", "--closed-loop", "3",
+            "--think-time", "0.1", "--requests", "12", "--seed", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "closed-loop: 3 clients" in out
+        assert "served 12 requests" in out
+        # The open-loop BatchRunner cross-check does not apply.
+        assert "serve/reference" not in out
+
+    def test_serve_kill_restore_scenario(self, capsys):
+        rc = main([
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--shards", "2", "--policy", "least-loaded",
+            "--requests", "16",
+            "--scenario", "kill:shard0@0.0001,restore@0.01",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scenario: kill shard0" in out
+        assert "served 16 requests" in out
+
+    def test_serve_bad_scenario_is_error(self, capsys):
+        rc = main([
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--requests", "4", "--scenario", "kill:shard7@0.1",
+        ])
+        assert rc == 1
+        assert "unknown shard" in capsys.readouterr().err
+
+    def test_serve_slo_shed(self, capsys):
+        rc = main([
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--shards", "2", "--traffic", "fixed-qps", "--qps", "20000",
+            "--requests", "48", "--slo-p99", "0.05",
+            "--slo-action", "shed",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "slo: p99 target 0.05 ms" in out
+
+    def test_experiments_seed_flag_parses(self):
+        args = build_parser().parse_args(
+            ["experiments", "serving", "--seed", "7"]
+        )
+        assert args.seed == 7
+        assert args.name == "serving"
+
     def test_cache_info_and_compact(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "memo")
         for model in ("tiny_cnn", "tiny_mlp"):

@@ -95,6 +95,22 @@ class TestPerShardExecutor:
         result = runner.run([np.zeros(net.input_shape.as_tuple())] * 5)
         assert result.makespan_seconds == pytest.approx(offsets[-1])
 
+    def test_completion_groups_coalesce_offsets(self):
+        # Groups are completion_offsets with equal instants merged:
+        # 5 images on 2 instances finish in rounds of 2, 2, 1.
+        runner, _ = make_runner(instances=2)
+        offsets = runner.completion_offsets(5)
+        groups = runner.completion_groups(5)
+        assert [images for _, images in groups] == [2, 2, 1]
+        assert sum(images for _, images in groups) == 5
+        expanded = [
+            offset for offset, images in groups for _ in range(images)
+        ]
+        assert expanded == pytest.approx(offsets)
+        assert groups[-1][0] == pytest.approx(offsets[-1])
+        with pytest.raises(RuntimeHostError):
+            runner.completion_groups(0)
+
     def test_empty_offsets_rejected(self):
         runner, _ = make_runner()
         with pytest.raises(RuntimeHostError):

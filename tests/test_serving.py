@@ -324,6 +324,74 @@ class TestShardServer:
         assert batched.makespan_seconds < singles.makespan_seconds / 3
 
 
+# -- run independence and heterogeneous pools ------------------------------
+
+
+class TestServeIndependence:
+    def test_back_to_back_serves_reset_pool_and_policy_state(self):
+        """A serve() after a different workload matches a fresh server
+        bit for bit: no timeline, counter or rotation state leaks."""
+        session = make_session(instances=2)
+        pool = ShardPool.replicate(session, 2)
+        server = ShardServer(pool, "round-robin",
+                             BatcherOptions(max_batch=2))
+        # An odd batch count, so a leaked rotation would flip every
+        # assignment of the next run; uniform-after-poisson would also
+        # expose leaked busy_until timelines.
+        server.serve(make_requests("poisson", 13, qps=500.0, seed=3))
+        second = server.serve(make_requests("uniform", 12))
+        fresh_pool = ShardPool.replicate(session.clone(), 2)
+        fresh = ShardServer(
+            fresh_pool, "round-robin", BatcherOptions(max_batch=2)
+        ).serve(make_requests("uniform", 12))
+        assert second.records == fresh.records
+        assert second.shards == fresh.shards
+        assert second.total_ops == fresh.total_ops
+
+    def test_serve_resets_scenario_damage(self):
+        """A failed shard from a scenario run is back for the next
+        serve() — pool.reset() restores availability."""
+        from repro.serving import FailureScenario
+
+        pool = ShardPool.replicate(make_session(), 2)
+        server = ShardServer(pool, "least-loaded",
+                             BatcherOptions(max_batch=1))
+        requests = make_requests("uniform", 8)
+        baseline = server.serve(requests)
+        killed = server.serve(
+            requests, scenario=FailureScenario.kill("shard0", at=0.0)
+        )
+        assert killed.per_shard()["shard0"].requests == 0
+        again = server.serve(requests)
+        assert again.records == baseline.records
+        assert again.per_shard()["shard0"].requests > 0
+
+
+class TestHeterogeneousPools:
+    def test_named_pool_serves_and_reports_by_name(self):
+        fast = make_session(instances=2, frequency=100.0)
+        slow = make_session(instances=1, frequency=50.0)
+        pool = ShardPool.of(fast, slow, names=("cloud", "edge"))
+        assert [shard.name for shard in pool] == ["cloud", "edge"]
+        assert pool.total_instances == 3
+        assert "cloud" in pool.describe() and "edge" in pool.describe()
+        report = ShardServer(
+            pool, "shortest-latency", BatcherOptions(max_batch=2)
+        ).serve(make_requests("uniform", 18))
+        assert report.count == 18
+        assert set(report.per_shard()) == {"cloud", "edge"}
+        # Both shards contribute, the fast one more.
+        shares = report.per_shard()
+        assert shares["cloud"].requests > shares["edge"].requests > 0
+
+    def test_default_names_and_name_mismatch(self):
+        a, b = make_session(), make_session()
+        pool = ShardPool.of(a, b)
+        assert [shard.name for shard in pool] == ["shard0", "shard1"]
+        with pytest.raises(ServingError):
+            ShardPool.of(a, b, names=("only-one",))
+
+
 # -- metrics ---------------------------------------------------------------
 
 

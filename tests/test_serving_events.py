@@ -1,0 +1,309 @@
+"""Tests for repro.serving.events — the kernel, sources, closed loops."""
+
+import pytest
+
+from repro.arch.params import AcceleratorConfig
+from repro.compiler import CompilerOptions
+from repro.errors import ServingError
+from repro.fpga import get_device
+from repro.ir import zoo
+from repro.pipeline import PipelineSession
+from repro.serving import (
+    Arrival,
+    BatcherOptions,
+    ClosedLoopClientPool,
+    DynamicBatcher,
+    EventKernel,
+    Flush,
+    OpenLoopSource,
+    PolicyTick,
+    Request,
+    ServingReport,
+    ShardDown,
+    ShardPool,
+    ShardServer,
+    make_requests,
+)
+
+
+def make_session(instances=1, frequency=100.0):
+    device = get_device("vu9p")
+    cfg = AcceleratorConfig(
+        pi=4, po=4, pt=4, instances=instances, frequency_mhz=frequency,
+        input_buffer_vecs=4096, weight_buffer_vecs=2048,
+        output_buffer_vecs=2048,
+    )
+    return PipelineSession(
+        zoo.tiny_cnn(input_size=16, channels=8),
+        device,
+        cfg=cfg,
+        compiler_options=CompilerOptions(quantize=False, pack_data=False),
+    )
+
+
+# -- kernel ----------------------------------------------------------------
+
+
+class TestEventKernel:
+    def test_orders_by_time_then_priority_then_sequence(self):
+        kernel = EventKernel()
+        seen = []
+        for kind in (Arrival, Flush, PolicyTick, ShardDown):
+            kernel.subscribe(
+                kind, lambda _k, e: seen.append(type(e).__name__)
+            )
+        # Same instant: ShardDown(0) < PolicyTick(3) < Arrival(4) <
+        # Flush(5); later instants strictly after.
+        kernel.push(Flush(time=1.0))
+        kernel.push(Arrival(time=1.0, request=Request(0, 1.0)))
+        kernel.push(PolicyTick(time=1.0))
+        kernel.push(ShardDown(time=1.0, shard="s"))
+        kernel.push(Arrival(time=0.5, request=Request(1, 0.5)))
+        assert kernel.run() == 5
+        assert seen == [
+            "Arrival", "ShardDown", "PolicyTick", "Arrival", "Flush",
+        ]
+        assert kernel.now == 1.0
+
+    def test_same_type_same_time_pops_in_push_order(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.subscribe(
+            Arrival, lambda _k, e: seen.append(e.request.index)
+        )
+        for index in (3, 1, 2):
+            kernel.push(Arrival(time=0.0, request=Request(index, 0.0)))
+        kernel.run()
+        assert seen == [3, 1, 2]
+
+    def test_push_into_the_past_rejected(self):
+        kernel = EventKernel()
+        kernel.push(Arrival(time=1.0, request=Request(0, 1.0)))
+        kernel.run()
+        with pytest.raises(ServingError):
+            kernel.push(Arrival(time=0.5, request=Request(1, 0.5)))
+
+    def test_cancel_skips_and_updates_pending(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.subscribe(Flush, lambda _k, e: seen.append(e.token))
+        keep = kernel.push(Flush(time=0.0, token=1))
+        drop = kernel.push(Flush(time=0.0, token=2))
+        assert kernel.pending(Flush) == 2
+        kernel.cancel(drop)
+        kernel.cancel(drop)  # idempotent
+        assert kernel.pending(Flush) == 1
+        assert kernel.pending() == 1
+        assert kernel.run() == 1
+        assert seen == [1]
+        assert keep.cancelled is False
+
+    def test_handlers_can_push_followup_events(self):
+        kernel = EventKernel()
+        seen = []
+
+        def chain(k, event):
+            seen.append(event.time)
+            if event.time < 3.0:
+                k.push(PolicyTick(time=event.time + 1.0))
+
+        kernel.subscribe(PolicyTick, chain)
+        kernel.push(PolicyTick(time=0.0))
+        kernel.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_event_budget_guards_runaway_loops(self):
+        kernel = EventKernel()
+        kernel.subscribe(
+            PolicyTick, lambda k, e: k.push(PolicyTick(time=e.time))
+        )
+        kernel.push(PolicyTick(time=0.0))
+        with pytest.raises(ServingError):
+            kernel.run(max_events=100)
+
+
+# -- batcher on the kernel -------------------------------------------------
+
+
+def reference_batches(requests, max_batch, max_wait):
+    """The pre-kernel batcher algorithm, kept as the oracle."""
+    from collections import deque
+
+    queue = deque()
+    out = []
+
+    def drain(at):
+        batch = []
+        while queue and len(batch) < max_batch and queue[0].arrival <= at:
+            batch.append(queue.popleft())
+        return batch
+
+    for request in sorted(requests, key=lambda r: (r.arrival, r.index)):
+        while queue and queue[0].arrival + max_wait < request.arrival:
+            deadline = queue[0].arrival + max_wait
+            out.append((deadline, drain(deadline)))
+        queue.append(request)
+        if len(queue) >= max_batch:
+            out.append((request.arrival, drain(request.arrival)))
+    while queue:
+        deadline = queue[0].arrival + max_wait
+        out.append((deadline, drain(deadline)))
+    return out
+
+
+class TestBatcherOnKernel:
+    @pytest.mark.parametrize("max_batch,max_wait", [
+        (1, 0.0), (3, 0.0), (3, 0.01), (8, 0.002), (64, 0.05),
+    ])
+    @pytest.mark.parametrize("model,kwargs", [
+        ("uniform", {}),
+        ("poisson", {"qps": 400.0, "seed": 5}),
+        ("burst", {"qps": 300.0, "burst": 5}),
+    ])
+    def test_matches_pre_kernel_batcher(self, max_batch, max_wait,
+                                        model, kwargs):
+        """The kernel-driven batcher reproduces the inline algorithm
+        flush for flush on every traffic shape."""
+        requests = make_requests(model, 40, **kwargs)
+        batcher = DynamicBatcher(
+            BatcherOptions(max_batch=max_batch, max_wait_s=max_wait)
+        )
+        got = list(batcher.batches(requests))
+        assert got == reference_batches(requests, max_batch, max_wait)
+
+    def test_empty_stream_yields_nothing(self):
+        assert list(DynamicBatcher().batches([])) == []
+
+
+# -- sources ---------------------------------------------------------------
+
+
+class TestOpenLoopSource:
+    def test_rejects_empty(self):
+        with pytest.raises(ServingError):
+            OpenLoopSource([])
+
+    def test_primes_sorted_arrivals(self):
+        kernel = EventKernel()
+        seen = []
+        kernel.subscribe(
+            Arrival, lambda _k, e: seen.append(e.request.index)
+        )
+        OpenLoopSource([
+            Request(0, 2.0), Request(1, 1.0), Request(2, 1.0),
+        ]).prime(kernel)
+        kernel.run()
+        assert seen == [1, 2, 0]
+
+
+class TestClosedLoopClientPool:
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            ClosedLoopClientPool(clients=0, requests=4)
+        with pytest.raises(ServingError):
+            ClosedLoopClientPool(clients=1, requests=-1)
+        with pytest.raises(ServingError):
+            ClosedLoopClientPool(clients=1, requests=4, think_time_s=-1.0)
+        with pytest.raises(ServingError):
+            ClosedLoopClientPool(clients=1, requests=4,
+                                 distribution="uniform")
+
+    def test_serves_exactly_the_request_budget(self):
+        pool = ShardPool.replicate(make_session(instances=2), 2)
+        source = ClosedLoopClientPool(clients=3, requests=17,
+                                      think_time_s=0.0, seed=4)
+        report = ShardServer(
+            pool, "least-loaded", BatcherOptions(max_batch=2)
+        ).serve(source)
+        assert report.count == 17
+        assert [r.index for r in report.records] == list(range(17))
+
+    def test_one_outstanding_request_per_client(self):
+        pool = ShardPool.replicate(make_session(), 1)
+        per_image = pool.shards[0].probe_seconds()
+        think = 0.5 * per_image
+        source = ClosedLoopClientPool(clients=2, requests=10,
+                                      think_time_s=think, seed=4)
+        report = ShardServer(
+            pool, "round-robin", BatcherOptions(max_batch=1)
+        ).serve(source)
+        assert report.count == 10
+        # At most 2 requests are ever in flight, and a client's next
+        # arrival is exactly one think time after a completion.
+        events = sorted(
+            [(r.arrival, 1) for r in report.records]
+            + [(r.completed, -1) for r in report.records]
+        )
+        outstanding = high_water = 0
+        for _, delta in events:
+            outstanding += delta
+            high_water = max(high_water, outstanding)
+        assert high_water <= 2
+        completions = {r.completed for r in report.records}
+        for record in report.records[2:]:
+            assert any(
+                record.arrival == pytest.approx(done + think)
+                for done in completions
+            )
+
+    def test_closed_loop_run_is_deterministic(self):
+        pool = ShardPool.replicate(make_session(instances=2), 2)
+        server = ShardServer(pool, "least-loaded",
+                             BatcherOptions(max_batch=2))
+        source = ClosedLoopClientPool(
+            clients=4, requests=20, think_time_s=1e-5,
+            distribution="exponential", seed=9,
+        )
+        first = server.serve(source)
+        second = server.serve(source)  # prime() resets per-run state
+        assert first.records == second.records
+        other = server.serve(ClosedLoopClientPool(
+            clients=4, requests=20, think_time_s=1e-5,
+            distribution="exponential", seed=10,
+        ))
+        assert other.records != first.records
+
+    def test_zero_requests_gives_empty_report(self):
+        pool = ShardPool.replicate(make_session(), 1)
+        report = ShardServer(pool, "round-robin").serve(
+            ClosedLoopClientPool(clients=2, requests=0)
+        )
+        assert report.count == 0
+        assert report.makespan_seconds == 0.0
+
+
+# -- empty-report guards ---------------------------------------------------
+
+
+class TestEmptyReport:
+    def test_empty_report_is_well_formed(self):
+        report = ServingReport(records=[], shards=[], total_ops=0,
+                               shed=5)
+        assert report.count == 0
+        assert report.makespan_seconds == 0.0
+        # Undefined rates are consistently NaN, defined counts are 0.
+        assert report.images_per_second != report.images_per_second
+        assert report.throughput_gops != report.throughput_gops  # NaN
+        assert report.mean_latency != report.mean_latency
+        assert report.mean_queue_seconds != report.mean_queue_seconds
+        assert report.latency_percentile(99) != report.latency_percentile(99)
+        text = report.describe()
+        assert "0 requests" in text
+        assert "5 shed" in text
+
+    def test_mixed_traffic_types_rejected(self):
+        pool = ShardPool.replicate(make_session(), 1)
+        server = ShardServer(pool)
+        with pytest.raises(ServingError):
+            server.serve([Request(0, 0.0), OpenLoopSource([Request(1, 0.0)])])
+
+    def test_multiple_sources_rejected(self):
+        # Independent sources would mint colliding request indices and
+        # cross-advance each other's clients — one source per run.
+        pool = ShardPool.replicate(make_session(), 1)
+        server = ShardServer(pool)
+        with pytest.raises(ServingError):
+            server.serve([
+                ClosedLoopClientPool(clients=1, requests=2, seed=1),
+                ClosedLoopClientPool(clients=1, requests=2, seed=2),
+            ])
