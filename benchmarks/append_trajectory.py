@@ -1,0 +1,99 @@
+"""Append one perf line per CI run to a serving trajectory file.
+
+``BENCH_serving.json`` is JSON Lines: one object per run, carrying the
+headline numbers of each labelled ``repro serve --report-json`` smoke,
+so consecutive PRs can be compared by diffing (or plotting) the file
+the workflow uploads as an artifact.
+
+Usage::
+
+    python benchmarks/append_trajectory.py [--file BENCH_serving.json] \
+        label=path/to/report.json [label=...]
+
+The commit id comes from ``$GITHUB_SHA`` (CI) or ``git rev-parse``
+(local), falling back to ``unknown``.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+#: The per-run numbers worth tracking across PRs.
+SUMMARY_FIELDS = (
+    "count",
+    "throughput_gops",
+    "images_per_second",
+    "p99_latency_s",
+    "shard_seconds",
+    "scale_ups",
+    "scale_downs",
+    "shed",
+    "unserved",
+)
+
+
+def commit_id() -> str:
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha[:12]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def summarise(report_path: Path) -> dict:
+    report = json.loads(report_path.read_text())
+    return {field: report.get(field) for field in SUMMARY_FIELDS}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--file",
+        default=str(Path(__file__).parent / "BENCH_serving.json"),
+        help="trajectory file to append to (JSON Lines)",
+    )
+    parser.add_argument(
+        "runs", nargs="+", metavar="LABEL=REPORT.json",
+        help="labelled ServingReport JSON files to fold in",
+    )
+    args = parser.parse_args(argv)
+
+    runs = {}
+    for spec in args.runs:
+        label, sep, path = spec.partition("=")
+        if not sep or not label:
+            print(f"error: expected LABEL=REPORT.json, got {spec!r}",
+                  file=sys.stderr)
+            return 2
+        runs[label] = summarise(Path(path))
+
+    line = {
+        "commit": commit_id(),
+        "date": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "runs": runs,
+    }
+    trajectory = Path(args.file)
+    with trajectory.open("a") as handle:
+        handle.write(json.dumps(line, sort_keys=True) + "\n")
+    entries = sum(
+        1 for text in trajectory.read_text().splitlines() if text.strip()
+    )
+    print(f"{trajectory}: appended run {line['commit']} "
+          f"({len(runs)} smoke(s), {entries} entr(y/ies) total)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,13 +28,21 @@ Checked claims:
   t=0 under least-loaded costs at most ``1/N + epsilon`` of the
   baseline throughput (the survivors absorb the stream), and a
   mid-stream kill + restore still serves every request (the lost
-  in-flight work is re-queued, never dropped).
+  in-flight work is re-queued, never dropped);
+* **autoscaling beats the peak-sized pool on cost at equal SLO** — on
+  bursty traffic at 2x one shard, both the p99-driven and the
+  utilisation-driven elastic pools meet the p99 objective the single
+  fixed shard misses, for measurably fewer shard-seconds than the
+  fixed pool sized for peak (the ``repro experiments autoscale``
+  headline).
 
 Every number is printed (not only asserted) so the CI log doubles as
-a perf trajectory record.
+a perf trajectory record (``benchmarks/append_trajectory.py`` folds
+the serve smokes' JSON reports into ``BENCH_serving.json``).
 """
 
 from repro.experiments.common import paper_config
+from repro.experiments import autoscale_study
 from repro.compiler import CompilerOptions
 from repro.ir import zoo
 from repro.pipeline import PipelineSession
@@ -180,3 +188,42 @@ def test_shard_failure_degrades_gracefully(capsys):
     assert degradation >= 0.3, "kill@0 barely degraded - scenario inert?"
     assert restore.count == REQUESTS, "kill+restore dropped requests"
     assert dead.per_shard()["shard0"].requests == 0
+
+
+def test_autoscaler_meets_p99_with_fewer_shard_seconds(capsys):
+    rows = autoscale_study.run_burst_study()
+    (_, target, fixed_one) = rows[0]
+    (_, _, fixed_peak) = rows[1]
+    elastic = rows[2:]
+
+    with capsys.disabled():
+        print()
+        print(f"  autoscale (burst @ "
+              f"{autoscale_study.BURST_OVERLOAD:.1f}x one shard, "
+              f"p99 objective {target * 1e3:.1f} ms):")
+        for label, _, report in rows:
+            print(f"    {label:22s} p99 "
+                  f"{report.latency_percentile(99) * 1e3:7.2f} ms, "
+                  f"{report.total_shard_seconds() * 1e3:6.1f} shard-ms, "
+                  f"{report.scale_ups}/{report.scale_downs} up/down")
+
+    # Acceptance: the objective is binding (one fixed shard misses
+    # it), and each elastic mode meets it for less provisioned
+    # shard-time than the fixed pool sized for peak.
+    assert fixed_one.latency_percentile(99) > target, (
+        "a single shard meets the target - the objective is not binding"
+    )
+    assert fixed_peak.latency_percentile(99) <= target
+    peak_bill = fixed_peak.total_shard_seconds()
+    for label, _, report in elastic:
+        assert report.count == autoscale_study.REQUESTS, label
+        assert report.scale_ups >= 1, f"{label}: autoscaler inert"
+        assert report.latency_percentile(99) <= target, (
+            f"{label}: p99 {report.latency_percentile(99) * 1e3:.2f} ms "
+            f"misses the {target * 1e3:.1f} ms objective"
+        )
+        assert report.total_shard_seconds() <= 0.9 * peak_bill, (
+            f"{label}: {report.total_shard_seconds() * 1e3:.1f} "
+            f"shard-ms is not under 90% of the peak pool's "
+            f"{peak_bill * 1e3:.1f}"
+        )

@@ -177,6 +177,83 @@ def _serve_session(args) -> PipelineSession:
     )
 
 
+def _parse_autoscale(args):
+    """``--autoscale min:max`` (+ targets) -> bounds or ``None``.
+
+    Only the cheap spec parsing happens here — the options object
+    needs pool-derived defaults (tick/warm-up from the batch service
+    time), so it is built in :func:`_autoscale_options` after the
+    session is paid for.
+    """
+    from repro.errors import ServingError
+
+    if args.autoscale is None:
+        if args.target_util is not None or args.target_p99 is not None:
+            raise ServingError(
+                "--target-util/--target-p99 need --autoscale min:max"
+            )
+        return None
+    head, sep, tail = args.autoscale.partition(":")
+    try:
+        bounds = (int(head), int(tail)) if sep else (int(head), int(head))
+    except ValueError:
+        raise ServingError(
+            f"--autoscale expects min:max shard counts, "
+            f"got {args.autoscale!r}"
+        ) from None
+    if bounds[0] < 1 or bounds[0] > bounds[1]:
+        raise ServingError(
+            f"--autoscale bounds must satisfy 1 <= min <= max, "
+            f"got {bounds[0]}:{bounds[1]}"
+        )
+    targets = (args.target_util, args.target_p99)
+    if sum(t is not None for t in targets) != 1:
+        raise ServingError(
+            "--autoscale needs exactly one of --target-util "
+            "and --target-p99"
+        )
+    if args.scenario:
+        raise ServingError(
+            "--autoscale and --scenario both drive shard up/down "
+            "events; run them separately"
+        )
+    return bounds
+
+
+def _autoscale_options(args, bounds, pool, max_batch):
+    """Autoscaler options with pool-derived timescale defaults."""
+    from repro.serving import AutoscalerOptions
+
+    # One batch service time on the fastest shard: the natural control
+    # timescale of this pool.
+    batch_s = min(
+        shard.probe_service_seconds(max_batch) for shard in pool
+    )
+    warmup_s = (
+        args.warmup * 1e-3 if args.warmup is not None else batch_s
+    )
+    tick_s = (
+        args.autoscale_tick * 1e-3
+        if args.autoscale_tick is not None else batch_s
+    )
+    if args.warmup is None:
+        print(f"warmup not given: using {warmup_s * 1e3:.2f} ms "
+              "(one batch service time)")
+    return AutoscalerOptions(
+        min_shards=bounds[0],
+        max_shards=bounds[1],
+        target_utilisation=args.target_util,
+        target_p99_s=(
+            args.target_p99 * 1e-3 if args.target_p99 is not None else None
+        ),
+        warmup_s=warmup_s,
+        tick_s=tick_s,
+        cooldown_s=(
+            args.cooldown * 1e-3 if args.cooldown is not None else None
+        ),
+    )
+
+
 def _cmd_serve(args) -> int:
     from repro.serving import FailureScenario, ShardPool, SloOptions
 
@@ -190,10 +267,14 @@ def _cmd_serve(args) -> int:
                    action=args.slo_action)
         if args.slo_p99 is not None else None
     )
+    autoscale_bounds = _parse_autoscale(args)
     session = _serve_session(args)
-    pool = ShardPool.replicate(session, args.shards)
+    shards = args.shards
+    if autoscale_bounds is not None:
+        shards = autoscale_bounds[1]  # replicate the pool to max
+    pool = ShardPool.replicate(session, shards)
     try:
-        return _run_serve(args, pool, scenario, slo)
+        return _run_serve(args, pool, scenario, slo, autoscale_bounds)
     finally:
         # Always flush a store-backed session, even when the serve run
         # itself fails (e.g. a scenario naming an unknown shard) — the
@@ -201,16 +282,29 @@ def _cmd_serve(args) -> int:
         pool.close()
 
 
-def _run_serve(args, pool, scenario, slo) -> int:
+def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
     from repro.serving import (
         BatcherOptions,
         ClosedLoopClientPool,
         ShardServer,
+        TraceSource,
         analytical_reference,
         make_requests,
     )
 
-    if args.closed_loop is not None:
+    if args.trace is not None:
+        if args.closed_loop is not None:
+            from repro.errors import ServingError
+
+            raise ServingError(
+                "--trace and --closed-loop are both complete traffic "
+                "sources; pick one"
+            )
+        traffic = TraceSource.load(
+            args.trace, time_scale=args.trace_scale, loop=args.trace_loop
+        )
+        traffic_label = traffic.describe()
+    elif args.closed_loop is not None:
         # Closed loop: N clients, each re-issuing one think time after
         # its previous request completes — arrivals depend on
         # completions, so qps is an outcome, not an input.
@@ -248,11 +342,16 @@ def _run_serve(args, pool, scenario, slo) -> int:
         max_batch = max(shard.instances for shard in pool)
         print(f"max-batch not given: using {max_batch} "
               "(shard instance count)")
+    autoscale = (
+        _autoscale_options(args, autoscale_bounds, pool, max_batch)
+        if autoscale_bounds is not None else None
+    )
     server = ShardServer(
         pool, args.policy,
         BatcherOptions(max_batch=max_batch,
                        max_wait_s=args.max_wait_ms * 1e-3),
         slo=slo,
+        autoscale=autoscale,
     )
     report = server.serve(traffic, scenario=scenario)
     print(f"pool ({args.policy}, {traffic_label}):")
@@ -263,7 +362,12 @@ def _run_serve(args, pool, scenario, slo) -> int:
     print(report.describe())
     if server.last_slo_controller is not None:
         print(f"  {server.last_slo_controller.describe()}")
-    if args.closed_loop is None and scenario is None and slo is None:
+    if server.last_autoscaler is not None:
+        print(f"  {server.last_autoscaler.describe()}")
+    if (
+        args.closed_loop is None and scenario is None and slo is None
+        and autoscale is None and args.trace is None
+    ):
         # The BatchRunner cross-check only measures the same quantity
         # when every request is served on the full pool.
         reference = analytical_reference(pool, args.requests)
@@ -274,6 +378,13 @@ def _run_serve(args, pool, scenario, slo) -> int:
             f"{reference_gops:.1f} GOPS "
             f"(serve/reference = {ratio:.3f})"
         )
+    if args.report_json is not None:
+        import json
+
+        out = Path(args.report_json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"report written to {out}")
     return 0
 
 
@@ -348,6 +459,7 @@ def _cmd_emit_hls(args) -> int:
 def _cmd_experiments(args) -> int:
     from repro.experiments import (
         ablation,
+        autoscale_study,
         estimation_error,
         instruction_stats,
         overhead,
@@ -374,6 +486,7 @@ def _cmd_experiments(args) -> int:
         "instruction-stats": instruction_stats.main,
         "serving": lambda: serving_study.main(seed=args.seed),
         "scenarios": lambda: scenario_study.main(seed=args.seed),
+        "autoscale": lambda: autoscale_study.main(seed=args.seed),
     }
     if args.name not in registry:
         print(f"unknown experiment {args.name!r}; "
@@ -487,6 +600,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="failure scenario, e.g. "
                         "'kill:shard0@0.05,restore@0.12' "
                         "(virtual seconds)")
+    p.add_argument("--autoscale", default=None, metavar="MIN:MAX",
+                   help="elastic pool bounds; the pool is replicated "
+                        "to MAX and the autoscaler drives it against "
+                        "--target-util or --target-p99 "
+                        "(--shards is ignored)")
+    p.add_argument("--target-util", type=float, default=None,
+                   metavar="FRACTION", dest="target_util",
+                   help="autoscaler target: windowed busy fraction "
+                        "of the active shards, in (0, 1]")
+    p.add_argument("--target-p99", type=float, default=None,
+                   metavar="MS", dest="target_p99",
+                   help="autoscaler target: windowed p99 latency in ms")
+    p.add_argument("--warmup", type=float, default=None, metavar="MS",
+                   help="modeled warm-up of a scaled-up shard "
+                        "(default: one batch service time)")
+    p.add_argument("--cooldown", type=float, default=None, metavar="MS",
+                   help="min time between scale decisions "
+                        "(default: two autoscaler ticks)")
+    p.add_argument("--autoscale-tick", type=float, default=None,
+                   metavar="MS", dest="autoscale_tick",
+                   help="autoscaler control period "
+                        "(default: one batch service time)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="replay a CSV/JSONL arrival trace instead of "
+                        "synthetic traffic (--requests is ignored)")
+    p.add_argument("--trace-scale", type=float, default=1.0,
+                   metavar="FACTOR", dest="trace_scale",
+                   help="multiply trace inter-arrivals by this "
+                        "(< 1 replays faster)")
+    p.add_argument("--trace-loop", type=int, default=1, metavar="N",
+                   dest="trace_loop",
+                   help="repeat the trace N times back to back")
+    p.add_argument("--report-json", default=None, metavar="PATH",
+                   dest="report_json",
+                   help="also write the ServingReport as JSON "
+                        "(the CI artifact format)")
     p.add_argument("--dse", action="store_true",
                    help="run the DSE instead of the paper configuration")
     p.set_defaults(func=_cmd_serve)
@@ -513,9 +662,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate a paper artifact")
     p.add_argument("name", help="table3|table4|figure6|estimation-error|"
                                 "overhead|vgg16-case|ablation|serving|"
-                                "scenarios")
+                                "scenarios|autoscale")
     p.add_argument("--seed", type=int, default=2020,
-                   help="traffic seed for the serving/scenarios studies")
+                   help="traffic seed for the serving/scenarios/"
+                        "autoscale studies")
     p.set_defaults(func=_cmd_experiments)
     return parser
 

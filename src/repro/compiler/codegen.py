@@ -30,7 +30,7 @@ import numpy as np
 from repro.errors import CompileError
 from repro.arch import layouts
 from repro.arch.params import AcceleratorConfig
-from repro.ir.graph import LayerInfo, Network
+from repro.ir.graph import Network
 from repro.ir.layers import (
     AvgPool2D,
     Conv2D,
@@ -610,7 +610,9 @@ def compile_network(
                 partition, layer_params.get("bias")
             )
 
-            dst_layout = _consumer_layout(network, pool_info.index if pool > 1 else index, mapping)
+            dst_layout = _consumer_layout(
+                network, pool_info.index if pool > 1 else index, mapping
+            )
             dst = FeatureMapSpec(
                 region=f"fmap:{layer.name}",
                 channels=out_shape.channels,

@@ -24,9 +24,15 @@ from repro.experiments.scenario_study import (
     run_failure_study,
     run_slo_study,
 )
+from repro.experiments.autoscale_study import (
+    run_burst_study,
+    run_trace_study,
+)
 
 __all__ = [
     "common",
+    "run_burst_study",
+    "run_trace_study",
     "run_failure_study",
     "run_slo_study",
     "run_bandwidth_ablation",

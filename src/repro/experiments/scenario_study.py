@@ -137,10 +137,7 @@ def run_slo_study(
     )
     qps = SLO_OVERLOAD * pool.simulated_images_per_second()
     fast = pool.shards[0]
-    batch_seconds = (
-        -(-MAX_BATCH // fast.instances) * fast.probe_seconds()
-    )
-    target = SLO_TARGET_BATCHES * batch_seconds
+    target = SLO_TARGET_BATCHES * fast.probe_service_seconds(MAX_BATCH)
     rows = [
         ("none", _serve(pool, "round-robin", qps, seed,
                         count=SLO_REQUESTS))

@@ -101,7 +101,10 @@ def partition_layer(
     """
     layer = _conv_geometry(info)
     r, s = layer.kernel_size
-    c = info.input_shape.channels if not isinstance(info.layer, Dense) else info.input_shape.size
+    c = (
+        info.input_shape.channels
+        if not isinstance(info.layer, Dense) else info.input_shape.size
+    )
     in_h = info.input_shape.height if not isinstance(info.layer, Dense) else 1
     in_w = info.input_shape.width if not isinstance(info.layer, Dense) else 1
     k = layer.out_channels

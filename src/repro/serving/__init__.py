@@ -3,20 +3,27 @@
 Turns the one-image-at-a-time runtime into a traffic-serving system
 built around a shared discrete-event kernel
 (:class:`~repro.serving.events.EventKernel`): event *sources* (open-
-loop traffic, closed-loop client pools with think time, failure
-scenarios) feed typed events to *handlers* — the
+loop traffic, replayed arrival traces, closed-loop client pools with
+think time, failure scenarios) feed typed events to *handlers* — the
 :class:`DynamicBatcher` coalescing requests under a batch/wait budget,
 the :class:`Scheduler` with pluggable policies and shard availability,
 an optional :class:`SloController` shedding or rerouting when the
-observed p99 drifts, and the :class:`ShardPool` of
+observed p99 drifts, an optional :class:`AutoscalerController` driving
+the pool between min and max shards against a utilisation or p99
+target, and the :class:`ShardPool` of
 :class:`~repro.pipeline.session.PipelineSession` deployments placing
 batches on virtual timelines.  ``repro serve`` is the CLI entry point;
 ``docs/serving.md`` documents the event taxonomy, policies, traffic
-models and metric definitions.
+models, autoscaling and metric definitions.
 """
 
 from __future__ import annotations
 
+from repro.serving.autoscaler import (
+    AUTOSCALE_METRICS,
+    AutoscalerController,
+    AutoscalerOptions,
+)
 from repro.serving.batcher import BatcherOptions, DynamicBatcher
 from repro.serving.events import (
     Arrival,
@@ -31,6 +38,7 @@ from repro.serving.events import (
 )
 from repro.serving.metrics import (
     RequestRecord,
+    ScaleEvent,
     ServingReport,
     ShardUsage,
     percentile,
@@ -53,15 +61,21 @@ from repro.serving.shard import Shard, ShardPool
 from repro.serving.slo import SLO_ACTIONS, SloController, SloOptions
 from repro.serving.traffic import (
     THINK_DISTRIBUTIONS,
+    TRACE_FIELDS,
     TRAFFIC_MODELS,
     ClosedLoopClientPool,
     OpenLoopSource,
     Request,
+    TraceSource,
+    load_trace,
     make_requests,
 )
 
 __all__ = [
     "Arrival",
+    "AUTOSCALE_METRICS",
+    "AutoscalerController",
+    "AutoscalerOptions",
     "BatchDone",
     "BatcherOptions",
     "ClosedLoopClientPool",
@@ -79,6 +93,7 @@ __all__ = [
     "Request",
     "RequestRecord",
     "RoundRobin",
+    "ScaleEvent",
     "ScenarioStep",
     "Scheduler",
     "SchedulingPolicy",
@@ -94,8 +109,11 @@ __all__ = [
     "SloController",
     "SloOptions",
     "THINK_DISTRIBUTIONS",
+    "TRACE_FIELDS",
     "TRAFFIC_MODELS",
+    "TraceSource",
     "analytical_reference",
+    "load_trace",
     "make_policy",
     "make_requests",
 ]

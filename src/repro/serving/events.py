@@ -22,7 +22,7 @@ event          priority  meaning
 ``ShardDown``  0         a shard fails: in-flight work is lost and re-queued
 ``ShardUp``    1         a failed shard rejoins the pool
 ``BatchDone``  2         one completion instant of a dispatched batch
-``PolicyTick`` 3         a control-loop heartbeat (SLO window re-evaluation)
+``PolicyTick`` 3         a control-loop heartbeat (SLO / autoscaler cadence)
 ``Arrival``    4         one request enters the system
 ``Flush``      5         a batcher wait-deadline wakeup
 =============  ========  ==================================================
@@ -104,8 +104,16 @@ class BatchDone(Event):
 
 @dataclass(frozen=True)
 class PolicyTick(Event):
-    """A control-loop heartbeat (the SLO controller's cadence)."""
+    """A control-loop heartbeat.
 
+    Several controllers (the SLO controller, the autoscaler) tick on
+    the same kernel, each at its own cadence: ``owner`` tags whose
+    heartbeat this is, and each controller ignores — and never
+    re-schedules — ticks it does not own, so two control loops on one
+    kernel cannot multiply each other's tick chains.
+    """
+
+    owner: str = ""
     priority: ClassVar[int] = 3
 
 

@@ -14,8 +14,8 @@ its answer.  A :class:`ServingReport` therefore carries both views:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ServingError
 
@@ -61,16 +61,57 @@ def percentile(values: Sequence[float], q: float) -> float:
 
 
 @dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaler decision: a shard scaled up or down.
+
+    ``time`` is the *decision* instant (a scaled-up shard only accepts
+    work after its warm-up elapses); ``shards_after`` counts the
+    shards the pool is provisioned for — active plus warming — once
+    the decision applies; ``observed`` is the windowed metric value
+    (``metric`` names which: ``utilisation`` or ``p99``) that
+    triggered it.
+    """
+
+    time: float
+    action: str
+    shard: str
+    shards_after: int
+    observed: float
+    metric: str
+
+    def __post_init__(self) -> None:
+        if self.action not in ("up", "down"):
+            raise ServingError(
+                f"scale event action must be up|down, got {self.action!r}"
+            )
+
+
+@dataclass(frozen=True)
 class ShardUsage:
-    """One shard's share of the run."""
+    """One shard's share of the run.
+
+    ``active_spans`` is the shard's provisioned timeline under an
+    autoscaler — ``(from, to)`` virtual-time intervals the shard was
+    scaled in (including warm-up).  ``None`` (the fixed-pool default)
+    means the shard was active for the whole run; an *empty* tuple
+    means a standby shard the autoscaler never provisioned.
+    """
 
     name: str
     requests: int
     batches: int
     busy_seconds: float
+    active_spans: Optional[Tuple[Tuple[float, float], ...]] = None
 
     def utilisation(self, makespan: float) -> float:
         return self.busy_seconds / makespan if makespan > 0 else 0.0
+
+    def active_seconds(self, makespan: float) -> float:
+        """Provisioned time: span lengths, or ``makespan`` when the
+        shard was never autoscaled (fixed-pool shards)."""
+        if self.active_spans is None:
+            return makespan
+        return sum(end - start for start, end in self.active_spans)
 
 
 @dataclass(frozen=True)
@@ -85,6 +126,11 @@ class ServingReport:
     records (every request shed or stranded, or a zero-length stream):
     counts and spans are then 0 and the undefined latency statistics
     are NaN — no accessor raises.
+
+    ``scale_events`` is the autoscaler's decision log (empty without
+    one) and ``shard_seconds`` the provisioned shard-time it was
+    billed — ``None`` means a fixed pool, where it degenerates to
+    ``len(shards) * makespan`` (see :meth:`total_shard_seconds`).
     """
 
     records: List[RequestRecord]
@@ -93,6 +139,8 @@ class ServingReport:
     shed: int = 0
     rerouted: int = 0
     unserved: int = 0
+    scale_events: List[ScaleEvent] = field(default_factory=list)
+    shard_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.shed < 0 or self.rerouted < 0 or self.unserved < 0:
@@ -159,6 +207,78 @@ class ServingReport:
     def per_shard(self) -> Dict[str, ShardUsage]:
         return {usage.name: usage for usage in self.shards}
 
+    # -- elasticity view --------------------------------------------------
+
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for e in self.scale_events if e.action == "up")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for e in self.scale_events if e.action == "down")
+
+    def total_shard_seconds(self) -> float:
+        """Provisioned shard-time of the run: the autoscaler's bill, or
+        ``shards * makespan`` for a fixed pool.  This is the cost axis
+        the elasticity studies trade against the p99 target."""
+        if self.shard_seconds is not None:
+            return self.shard_seconds
+        return len(self.shards) * self.makespan_seconds
+
+    # -- export -----------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """A JSON-safe summary (NaN statistics become ``None``) — the
+        payload ``repro serve --report-json`` writes and CI uploads as
+        a workflow artifact."""
+
+        def safe(value: float) -> Optional[float]:
+            return None if value != value else value
+
+        return {
+            "count": self.count,
+            "shed": self.shed,
+            "rerouted": self.rerouted,
+            "unserved": self.unserved,
+            "total_ops": self.total_ops,
+            "makespan_seconds": self.makespan_seconds,
+            "images_per_second": safe(self.images_per_second),
+            "throughput_gops": safe(self.throughput_gops),
+            "mean_batch_size": self.mean_batch_size,
+            "mean_latency_s": safe(self.mean_latency),
+            "p50_latency_s": safe(self.latency_percentile(50)),
+            "p90_latency_s": safe(self.latency_percentile(90)),
+            "p99_latency_s": safe(self.latency_percentile(99)),
+            "mean_queue_s": safe(self.mean_queue_seconds),
+            "shard_seconds": self.total_shard_seconds(),
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "scale_events": [
+                {
+                    "time": event.time,
+                    "action": event.action,
+                    "shard": event.shard,
+                    "shards_after": event.shards_after,
+                    "observed": safe(event.observed),
+                    "metric": event.metric,
+                }
+                for event in self.scale_events
+            ],
+            "shards": [
+                {
+                    "name": usage.name,
+                    "requests": usage.requests,
+                    "batches": usage.batches,
+                    "busy_seconds": usage.busy_seconds,
+                    "active_spans": (
+                        None if usage.active_spans is None
+                        else [list(span) for span in usage.active_spans]
+                    ),
+                }
+                for usage in self.shards
+            ],
+        }
+
     # -- rendering --------------------------------------------------------
 
     def describe(self) -> str:
@@ -192,20 +312,41 @@ class ServingReport:
             f"max {max(latencies) * 1e3:.2f} "
             f"(queue {self.mean_queue_seconds * 1e3:.2f} mean)",
         ]
-        if self.shed or self.rerouted:
-            lines.append(
-                f"  slo: {self.shed} request(s) shed, "
-                f"{self.rerouted} rerouted"
-            )
+        # Surface the exceptional counters only when nonzero: a healthy
+        # run's report should not advertise the machinery that never
+        # fired.
+        slo_counts = []
+        if self.shed:
+            slo_counts.append(f"{self.shed} request(s) shed")
+        if self.rerouted:
+            slo_counts.append(f"{self.rerouted} request(s) rerouted")
+        if slo_counts:
+            lines.append("  slo: " + ", ".join(slo_counts))
         if self.unserved:
             lines.append(
                 f"  {self.unserved} request(s) left unserved by a "
                 "shard outage"
             )
-        for usage in self.shards:
+        if self.scale_events:
+            fixed = len(self.shards) * self.makespan_seconds
             lines.append(
+                f"  autoscaler: {self.scale_ups} scale-up(s), "
+                f"{self.scale_downs} scale-down(s); "
+                f"{self.total_shard_seconds() * 1e3:.2f} shard-ms vs "
+                f"{fixed * 1e3:.2f} for the full pool"
+            )
+        makespan = self.makespan_seconds
+        for usage in self.shards:
+            line = (
                 f"  {usage.name:12s} {usage.requests:5d} requests in "
                 f"{usage.batches:4d} batch(es), "
-                f"{usage.utilisation(self.makespan_seconds) * 100:5.1f}% busy"
+                f"{usage.utilisation(makespan) * 100:5.1f}% busy"
             )
+            if usage.active_spans is not None:
+                share = (
+                    usage.active_seconds(makespan) / makespan
+                    if makespan > 0 else 0.0
+                )
+                line += f", active {share * 100:5.1f}% of the run"
+            lines.append(line)
         return "\n".join(lines)

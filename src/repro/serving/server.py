@@ -16,6 +16,10 @@
   and the usage accounting;
 * an optional **SLO controller** sheds or reroutes dispatches while
   its windowed p99 estimate is breached;
+* an optional **autoscaler** drives the pool between min and max
+  shards against a utilisation or p99 target (standby shards start
+  down, scale-ups warm up before accepting work, scale-downs re-queue
+  in-flight work like a failure would);
 * a **failure scenario** kills/restores shards mid-stream: the dying
   shard's pending completion events are cancelled and its un-completed
   requests re-enter the batcher at the failure instant (original
@@ -41,6 +45,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ServingError
+from repro.serving.autoscaler import AutoscalerController, AutoscalerOptions
 from repro.serving.batcher import BatcherOptions, DynamicBatcher
 from repro.serving.events import (
     Arrival,
@@ -100,6 +105,10 @@ class _ServeRun:
         self.slo = (
             SloController(server.slo) if server.slo is not None else None
         )
+        self.autoscaler = (
+            AutoscalerController(server.autoscale)
+            if server.autoscale is not None else None
+        )
         self.records: List[RequestRecord] = []
         self.usage: Dict[str, _Usage] = {
             shard.name: _Usage() for shard in server.pool
@@ -131,6 +140,12 @@ class _ServeRun:
         kernel.subscribe(ShardUp, self._on_shard_up)
         if self.slo is not None:
             self.slo.attach(kernel)
+        if self.autoscaler is not None:
+            # After the scheduler/server handlers (availability flips
+            # and re-queues settle before the controller records) and
+            # after pool.reset (the standby cut applies to a fresh
+            # pool).
+            self.autoscaler.attach(kernel, server.pool)
         if self.scenario is not None:
             self.scenario.prime(kernel, server.pool)
         self.source.prime(kernel)
@@ -242,18 +257,90 @@ class _ServeRun:
         parked, self.parked = self.parked, []
         for batch in parked:
             self._dispatch(kernel, kernel.now, batch)
+        if self.autoscaler is not None:
+            self._rebalance(kernel)
+
+    def _rebalance(self, kernel: EventKernel) -> None:
+        """Spread queued backlogs over a just-provisioned shard.
+
+        Batches bind to a shard's virtual timeline at dispatch, so
+        without this a scale-up only serves traffic that arrives
+        *after* it — the backlog that triggered it would still drain
+        on the overloaded shards.  Cancelling every batch that has not
+        **started** (its completions are placements, not work) and
+        re-queueing its requests at the current instant lets the
+        batcher re-flush them over the new availability.  Started
+        batches are running — they keep their shard, exactly like the
+        failure path's in-flight accounting, and each donor's
+        ``busy_until`` rewinds to its last kept completion.
+
+        Only autoscaled runs rebalance: a scenario restore keeps PR
+        4's behaviour (policies rebalance survivors, queued work does
+        not migrate), so open-loop and scenario runs stay
+        event-for-event identical with no autoscaler configured.
+        """
+        lost: List[RequestRecord] = []
+        for shard in self.server.pool:
+            pending = self.inflight[shard.name]
+            keep = []
+            dropped: List[RequestRecord] = []
+            for entry, queued in pending:
+                if queued.records[0].started > kernel.now:
+                    kernel.cancel(entry)
+                    dropped.extend(queued.records)
+                else:
+                    keep.append((entry, queued))
+            if dropped:
+                self.inflight[shard.name] = keep
+                shard.busy_until = max(
+                    (queued.time for _entry, queued in keep),
+                    default=kernel.now,
+                )
+                lost.extend(dropped)
+        for record in sorted(lost, key=lambda r: r.index):
+            kernel.push(
+                Arrival(
+                    time=kernel.now,
+                    request=Request(record.index, record.arrival),
+                )
+            )
 
     # -- reporting --------------------------------------------------------
 
     def _report(self) -> ServingReport:
         self.records.sort(key=lambda record: record.index)
         unserved = sum(len(batch) for batch in self.parked)
+        spans = {}
+        scale_events = []
+        shard_seconds = None
+        if self.autoscaler is not None:
+            # Clip the provisioned timeline to the makespan window, so
+            # the bill is directly comparable to a fixed pool's
+            # shards * makespan and the reported spans sum to it.
+            start = min((r.arrival for r in self.records), default=0.0)
+            end = max(
+                (r.completed for r in self.records),
+                default=self.kernel.now,
+            )
+            shard_seconds = 0.0
+            for name, intervals in self.autoscaler.usage_spans(
+                end
+            ).items():
+                clipped = tuple(
+                    (max(span_start, start), min(span_stop, end))
+                    for span_start, span_stop in intervals
+                    if min(span_stop, end) > max(span_start, start)
+                )
+                spans[name] = clipped
+                shard_seconds += sum(b - a for a, b in clipped)
+            scale_events = list(self.autoscaler.scale_events)
         usage = [
             ShardUsage(
                 name=shard.name,
                 requests=self.usage[shard.name].requests,
                 batches=self.usage[shard.name].batches,
                 busy_seconds=self.usage[shard.name].busy_seconds,
+                active_spans=spans.get(shard.name),
             )
             for shard in self.server.pool
         ]
@@ -264,6 +351,8 @@ class _ServeRun:
             shed=self.shed,
             rerouted=self.rerouted,
             unserved=unserved,
+            scale_events=scale_events,
+            shard_seconds=shard_seconds,
         )
 
 
@@ -276,14 +365,17 @@ class ShardServer:
         policy: Union[str, SchedulingPolicy] = "round-robin",
         batcher: Optional[BatcherOptions] = None,
         slo: Optional[SloOptions] = None,
+        autoscale: Optional[AutoscalerOptions] = None,
     ):
         self.pool = pool
         self.scheduler = Scheduler(pool.shards, policy)
         self.batcher = DynamicBatcher(batcher)
         self.slo = slo
-        #: The controller of the most recent run (its windowed estimate
-        #: and tick counters), for inspection/printing.
+        self.autoscale = autoscale
+        #: The controllers of the most recent run (windowed estimates,
+        #: tick counters, scale decisions), for inspection/printing.
         self.last_slo_controller: Optional[SloController] = None
+        self.last_autoscaler: Optional[AutoscalerController] = None
 
     def serve(
         self,
@@ -300,6 +392,7 @@ class ShardServer:
         """
         run = _ServeRun(self, self._source(traffic), scenario)
         self.last_slo_controller = run.slo
+        self.last_autoscaler = run.autoscaler
         return run.execute()
 
     @staticmethod

@@ -100,6 +100,15 @@ class Shard:
             raise ServingError(f"batch size must be >= 1, got {count}")
         return math.ceil(count / self.instances) * self.analytical_seconds()
 
+    def probe_service_seconds(self, count: int) -> float:
+        """:meth:`expected_service_seconds` from the simulated probe
+        instead of the Eq. 12-15 estimate — the natural control
+        timescale for batch-granular policies (autoscaler ticks,
+        warm-up and SLO targets expressed in batch times)."""
+        if count < 1:
+            raise ServingError(f"batch size must be >= 1, got {count}")
+        return math.ceil(count / self.instances) * self.probe_seconds()
+
     def expected_completion(self, count: int, now: float) -> float:
         """When a batch dispatched now would finish on this shard."""
         return max(now, self.busy_until) + self.expected_service_seconds(

@@ -96,13 +96,20 @@ class SloController:
         self.ticks = 0
         self.breach_ticks = 0
 
+    #: ``PolicyTick.owner`` tag of this controller's heartbeats; other
+    #: controllers' ticks (e.g. the autoscaler's) are ignored.
+    TICK_OWNER = "slo"
+
     def attach(self, kernel: EventKernel) -> None:
         """Subscribe the observation + heartbeat handlers and start the
         tick chain."""
         kernel.subscribe(BatchDone, self._on_batch_done)
         kernel.subscribe(PolicyTick, self._on_tick)
         kernel.push(
-            PolicyTick(time=kernel.now + self.options.effective_tick_s)
+            PolicyTick(
+                time=kernel.now + self.options.effective_tick_s,
+                owner=self.TICK_OWNER,
+            )
         )
 
     # -- observation ------------------------------------------------------
@@ -121,6 +128,8 @@ class SloController:
     # -- control ----------------------------------------------------------
 
     def _on_tick(self, kernel: EventKernel, event: PolicyTick) -> None:
+        if event.owner != self.TICK_OWNER:
+            return  # another controller's heartbeat
         self.ticks += 1
         if len(self._window) >= self.options.min_samples:
             self.breached = (
@@ -135,7 +144,8 @@ class SloController:
         if kernel.pending() - kernel.pending(PolicyTick) > 0:
             kernel.push(
                 PolicyTick(
-                    time=kernel.now + self.options.effective_tick_s
+                    time=kernel.now + self.options.effective_tick_s,
+                    owner=self.TICK_OWNER,
                 )
             )
 

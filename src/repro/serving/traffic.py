@@ -17,16 +17,24 @@ Four models cover the scenarios the benchmarks exercise:
 On the event kernel every traffic model is an
 :class:`~repro.serving.events.EventSource`: :class:`OpenLoopSource`
 wraps any pre-materialised request list (arrivals independent of
-completions), and :class:`ClosedLoopClientPool` implements the classic
+completions), :class:`ClosedLoopClientPool` implements the classic
 closed-loop methodology — N clients, each issuing its next request one
 think time after its previous one *completes*, so the arrival process
-depends on the system's own behaviour.
+depends on the system's own behaviour — and :class:`TraceSource`
+replays *real* arrival logs (CSV or JSONL timestamp files, loaded by
+:func:`load_trace`) with time-scaling and looping, so a few seconds of
+production traffic can drive an arbitrarily long, rate-matched
+simulation next to the synthetic models.
 """
 
 from __future__ import annotations
 
+import csv
+import json
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -141,6 +149,221 @@ class OpenLoopSource(EventSource):
     def prime(self, kernel: EventKernel) -> None:
         for request in self.requests:
             kernel.push(Arrival(time=request.arrival, request=request))
+
+
+#: Column/key names :func:`load_trace` accepts for the arrival instant.
+TRACE_FIELDS = ("timestamp", "arrival", "time", "ts")
+
+
+def load_trace(path: Union[str, Path]) -> List[float]:
+    """Arrival timestamps from a trace file (seconds, unsorted OK).
+
+    Two formats, chosen by suffix:
+
+    * ``.jsonl`` / ``.ndjson`` / ``.json`` — one JSON document per
+      line: either a bare number or an object with one of
+      ``TRACE_FIELDS`` (extra keys — request shapes, ids — ignored).
+      A ``.json`` file holding one top-level array of such entries is
+      accepted too;
+    * anything else is read as CSV — a single timestamp column, or a
+      header row naming one of ``TRACE_FIELDS`` (extra columns
+      ignored).
+
+    Timestamps may be epoch-based: :class:`TraceSource` rebases them to
+    the earliest arrival before replaying.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ServingError(f"cannot read trace {path}: {exc}") from None
+    if path.suffix.lower() in (".jsonl", ".ndjson", ".json"):
+        arrivals = _parse_jsonl_trace(path, text)
+    else:
+        arrivals = _parse_csv_trace(path, text)
+    if not arrivals:
+        raise ServingError(f"trace {path} holds no arrivals")
+    return arrivals
+
+
+def _trace_value(path: Path, line: int, raw: object) -> float:
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ServingError(
+            f"trace {path} line {line}: bad timestamp {raw!r}"
+        ) from None
+    if not math.isfinite(value):
+        raise ServingError(
+            f"trace {path} line {line}: timestamp must be finite, "
+            f"got {value}"
+        )
+    return value
+
+
+def _trace_entry(path: Path, position: int, doc: object) -> float:
+    """One JSONL/JSON entry: a bare number or a TRACE_FIELDS object."""
+    if isinstance(doc, dict):
+        for key in TRACE_FIELDS:
+            if key in doc:
+                doc = doc[key]
+                break
+        else:
+            raise ServingError(
+                f"trace {path} entry {position}: no timestamp key "
+                f"(expected one of {TRACE_FIELDS})"
+            )
+    return _trace_value(path, position, doc)
+
+
+def _parse_jsonl_trace(path: Path, text: str) -> List[float]:
+    # A .json file may hold one top-level array instead of one
+    # document per line.
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        doc = None
+    if isinstance(doc, list):
+        return [
+            _trace_entry(path, position, entry)
+            for position, entry in enumerate(doc, start=1)
+        ]
+    arrivals = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            raise ServingError(
+                f"trace {path} line {number}: not JSON: {line[:40]!r}"
+            ) from None
+        arrivals.append(_trace_entry(path, number, entry))
+    return arrivals
+
+
+def _parse_csv_trace(path: Path, text: str) -> List[float]:
+    rows = [row for row in csv.reader(text.splitlines()) if row]
+    if not rows:
+        return []
+    column, start = 0, 0
+    head = [cell.strip().lower() for cell in rows[0]]
+    try:
+        float(head[0])
+    except ValueError:
+        # Header row: find the timestamp column by name.
+        for key in TRACE_FIELDS:
+            if key in head:
+                column, start = head.index(key), 1
+                break
+        else:
+            raise ServingError(
+                f"trace {path}: header {rows[0]!r} names no timestamp "
+                f"column (expected one of {TRACE_FIELDS})"
+            ) from None
+    arrivals = []
+    for number, row in enumerate(rows[start:], start=start + 1):
+        if column >= len(row):
+            raise ServingError(
+                f"trace {path} line {number}: missing column {column}"
+            )
+        arrivals.append(_trace_value(path, number, row[column].strip()))
+    return arrivals
+
+
+class TraceSource(EventSource):
+    """Replay a recorded arrival trace as an open-loop event source.
+
+    The trace is rebased to its earliest arrival (epoch timestamps
+    replay from t=0), multiplied by ``time_scale`` (0.5 replays twice
+    as fast — the knob that rate-matches a production trace to a
+    simulated pool's capacity) and repeated ``loop`` times, each
+    repetition offset by the scaled span plus one mean inter-arrival
+    gap so the seam keeps the trace's own cadence.  Request indices
+    run sequentially across loops, so a trace composes with everything
+    keyed on request identity (SLO shed counts, failure re-queues,
+    closed-loop think-time clients sharing the same benchmark).
+    """
+
+    def __init__(
+        self,
+        arrivals: Sequence[float],
+        time_scale: float = 1.0,
+        loop: int = 1,
+        name: str = "trace",
+    ):
+        if not arrivals:
+            raise ServingError("nothing to serve: empty trace")
+        if time_scale <= 0 or not math.isfinite(time_scale):
+            raise ServingError(
+                f"time_scale must be positive and finite, got {time_scale}"
+            )
+        if loop < 1:
+            raise ServingError(f"loop must be >= 1, got {loop}")
+        base = sorted(float(value) for value in arrivals)
+        if not all(math.isfinite(value) for value in base):
+            raise ServingError("trace arrivals must be finite")
+        origin = base[0]
+        scaled = [(value - origin) * time_scale for value in base]
+        span = scaled[-1]
+        gap = span / (len(scaled) - 1) if len(scaled) > 1 else 0.0
+        cycle = span + gap
+        self.name = name
+        self.time_scale = time_scale
+        self.loop = loop
+        self.arrivals = [
+            iteration * cycle + value
+            for iteration in range(loop)
+            for value in scaled
+        ]
+
+    @classmethod
+    def load(
+        cls,
+        path: Union[str, Path],
+        time_scale: float = 1.0,
+        loop: int = 1,
+    ) -> "TraceSource":
+        """A source straight from a trace file (see :func:`load_trace`)."""
+        return cls(
+            load_trace(path),
+            time_scale=time_scale,
+            loop=loop,
+            name=str(Path(path).name),
+        )
+
+    def requests(self) -> List[Request]:
+        """The replayed arrivals as a plain request list — usable
+        anywhere the synthetic models are."""
+        return [
+            Request(index=index, arrival=arrival)
+            for index, arrival in enumerate(self.arrivals)
+        ]
+
+    @property
+    def span_seconds(self) -> float:
+        """First to last replayed arrival."""
+        return self.arrivals[-1] - self.arrivals[0]
+
+    def mean_qps(self) -> float:
+        """Long-run replayed arrival rate (NaN for a single instant)."""
+        if self.span_seconds <= 0:
+            return float("nan")
+        return (len(self.arrivals) - 1) / self.span_seconds
+
+    def prime(self, kernel: EventKernel) -> None:
+        for request in self.requests():
+            kernel.push(Arrival(time=request.arrival, request=request))
+
+    def describe(self) -> str:
+        rate = self.mean_qps()
+        rate_text = f"{rate:.1f} req/s" if rate == rate else "instantaneous"
+        return (
+            f"trace {self.name}: {len(self.arrivals)} arrivals over "
+            f"{self.span_seconds * 1e3:.1f} ms ({rate_text}, "
+            f"scale {self.time_scale:g}, loop {self.loop})"
+        )
 
 
 class ClosedLoopClientPool(EventSource):

@@ -262,12 +262,16 @@ class AcceleratorSimulator:
         block = self.dram.read(base, rows_dst * row_words)
         if desc["dst_layout"] == layouts.SPAT:
             arr = block.reshape(rows_dst, n_cv, width, lanes)
-            flat = arr.transpose(1, 3, 0, 2).reshape(n_cv * lanes, rows_dst, width).copy()
+            flat = arr.transpose(1, 3, 0, 2).reshape(
+                n_cv * lanes, rows_dst, width
+            ).copy()
             flat[k0 : k0 + kc] = data[:, :, :width]
             arr = flat.reshape(n_cv, lanes, rows_dst, width).transpose(2, 0, 3, 1)
         else:
             arr = block.reshape(rows_dst, width, n_cv, lanes)
-            flat = arr.transpose(2, 3, 0, 1).reshape(n_cv * lanes, rows_dst, width).copy()
+            flat = arr.transpose(2, 3, 0, 1).reshape(
+                n_cv * lanes, rows_dst, width
+            ).copy()
             flat[k0 : k0 + kc] = data[:, :, :width]
             arr = flat.reshape(n_cv, lanes, rows_dst, width).transpose(2, 3, 0, 1)
         self.dram.write(base, np.ascontiguousarray(arr).reshape(-1))

@@ -35,7 +35,9 @@ def decomposition_blocks(kernel_h: int, kernel_w: int, r: int) -> List[Tuple[int
     ]
 
 
-def decompose_kernel(kernels: np.ndarray, r: int) -> List[Tuple[Tuple[int, int], np.ndarray]]:
+def decompose_kernel(
+    kernels: np.ndarray, r: int
+) -> List[Tuple[Tuple[int, int], np.ndarray]]:
     """Split ``(K, C, R, S)`` kernels into zero-padded ``r x r`` blocks.
 
     Returns ``[((dr, ds), block), ...]`` where ``block`` has shape

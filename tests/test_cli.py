@@ -174,6 +174,75 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "slo: p99 target 0.05 ms" in out
 
+    def test_serve_autoscale_round_trip(self, tmp_path, capsys):
+        report_path = tmp_path / "out" / "report.json"
+        rc = main([
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--autoscale", "1:3", "--target-p99", "0.08",
+            "--warmup", "0.02", "--traffic", "burst", "--burst", "12",
+            "--requests", "48", "--max-batch", "4",
+            "--report-json", str(report_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # The pool is replicated to max, not --shards.
+        assert "served 48 requests over 3 shard(s)" in out
+        assert "autoscaler: 1..3 shards, target p99 0.08 ms" in out
+        # The BatchRunner cross-check does not apply to elastic pools.
+        assert "serve/reference" not in out
+        import json
+
+        payload = json.loads(report_path.read_text())
+        assert payload["count"] == 48
+        assert payload["scale_ups"] >= 1
+
+    def test_serve_autoscale_bad_specs_are_errors(self, capsys):
+        base = ["serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+                "--requests", "4"]
+        for extra in (
+            ["--autoscale", "two:4", "--target-p99", "1"],
+            ["--autoscale", "1:4"],  # no target
+            ["--autoscale", "1:4", "--target-p99", "1",
+             "--target-util", "0.5"],  # both targets
+            ["--target-util", "0.5"],  # target without bounds
+            ["--autoscale", "1:4", "--target-p99", "1",
+             "--scenario", "kill:shard0@0.1"],  # fights the scenario
+            ["--autoscale", "4:1", "--target-p99", "1"],  # min > max
+        ):
+            assert main(base + extra) == 1
+            assert "error:" in capsys.readouterr().err
+
+    def test_serve_trace_replay(self, tmp_path, capsys):
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "timestamp\n" + "\n".join(
+                f"{k // 4 * 0.01:.4f}" for k in range(16)
+            ) + "\n"
+        )
+        rc = main([
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--shards", "2", "--trace", str(trace),
+            "--trace-scale", "0.5", "--trace-loop", "2",
+            "--max-batch", "4",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace trace.csv: 32 arrivals" in out
+        assert "served 32 requests" in out
+        assert "serve/reference" not in out
+
+    def test_serve_trace_with_closed_loop_is_error(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("0.0\n0.1\n")
+        rc = main([
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--trace", str(trace), "--closed-loop", "2",
+        ])
+        assert rc == 1
+        assert "pick one" in capsys.readouterr().err
+
     def test_experiments_seed_flag_parses(self):
         args = build_parser().parse_args(
             ["experiments", "serving", "--seed", "7"]

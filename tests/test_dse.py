@@ -5,7 +5,6 @@ import pytest
 from repro.dse import explore_hardware, map_network, run_dse
 from repro.dse.space import DseOptions, default_buffers
 from repro.errors import DseError
-from repro.fpga import get_device
 from repro.ir import zoo
 
 

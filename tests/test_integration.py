@@ -3,7 +3,6 @@ model + device to verified simulated inference, plus hypothesis
 properties spanning compiler + simulator."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -46,7 +45,6 @@ class TestFullPipeline:
     def test_simulated_latency_close_to_estimate(self, pynq):
         # The estimation-error claim on a small network.
         from repro.dse.engine import map_network
-        from repro.estimator import estimate_network
 
         net = zoo.tiny_cnn(input_size=32, channels=16)
         cfg = AcceleratorConfig(

@@ -96,7 +96,9 @@ class TestBuilder:
         assert len(set(names)) == 2
 
     def test_kernel_int_expands(self):
-        net = NetworkBuilder("n", (3, 16, 16)).conv2d(4, kernel_size=5, padding=2).build()
+        net = NetworkBuilder("n", (3, 16, 16)).conv2d(
+            4, kernel_size=5, padding=2
+        ).build()
         assert net[0].layer.kernel_size == (5, 5)
 
     def test_accepts_tensorshape(self):

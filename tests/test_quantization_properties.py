@@ -13,7 +13,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ir.tensor import DataType
-from repro.winograd import direct_conv2d, winograd_conv2d
+from repro.winograd import direct_conv2d
 from repro.winograd.matrices import get_algorithm
 from repro.winograd.transforms import transform_weight
 

@@ -2,7 +2,6 @@
 trips, host-step variants, DRAM sizing."""
 
 import numpy as np
-import pytest
 
 from repro.compiler import CompilerOptions, compile_network
 from repro.ir import NetworkBuilder, zoo

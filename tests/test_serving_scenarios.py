@@ -15,7 +15,6 @@ from repro.serving import (
     ScenarioStep,
     ShardPool,
     ShardServer,
-    SloController,
     SloOptions,
     make_requests,
 )

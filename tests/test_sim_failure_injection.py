@@ -16,7 +16,7 @@ from repro.compiler import CompilerOptions, compile_network
 from repro.errors import SimulationError
 from repro.fpga import get_device
 from repro.ir import zoo
-from repro.isa.instructions import Comp, DeptFlag, Opcode
+from repro.isa.instructions import DeptFlag, Opcode
 from repro.mapping import NetworkMapping
 from repro.runtime import HostRuntime, generate_parameters
 

@@ -29,7 +29,11 @@ class TestTransforms:
 
     def test_weight_transform_rejects_bad_tail(self, alg):
         with pytest.raises(ShapeError):
-            transform_weight(alg, np.ones((5, 3, 4, 4)) if alg.r == 3 else np.ones((5, 3, 2, 2)))
+            transform_weight(
+                alg,
+                np.ones((5, 3, 4, 4)) if alg.r == 3
+                else np.ones((5, 3, 2, 2)),
+            )
 
     def test_input_transform_preserves_shape(self, alg):
         tiles = np.random.default_rng(0).normal(size=(7, alg.tile, alg.tile))
