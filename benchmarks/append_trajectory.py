@@ -33,6 +33,7 @@ SUMMARY_FIELDS = (
     "scale_downs",
     "shed",
     "unserved",
+    "events_per_second",
 )
 
 

@@ -29,7 +29,7 @@ import sys
 from pathlib import Path
 
 from repro.compiler import CompilerOptions
-from repro.dse.space import EXECUTORS, OBJECTIVES, DseOptions
+from repro.dse.space import ESTIMATORS, EXECUTORS, OBJECTIVES, DseOptions
 from repro.errors import ReproError
 from repro.estimator import estimate_resources
 from repro.fpga import DEVICES, get_device
@@ -67,6 +67,7 @@ def _session(args) -> PipelineSession:
         top_k=getattr(args, "top_k", 5),
         jobs=getattr(args, "jobs", 1),
         executor=getattr(args, "executor", "serial"),
+        estimator=getattr(args, "estimator", "scalar"),
     )
     return PipelineSession(
         args.model,
@@ -353,7 +354,8 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
         slo=slo,
         autoscale=autoscale,
     )
-    report = server.serve(traffic, scenario=scenario)
+    report = server.serve(traffic, scenario=scenario,
+                          max_events=args.event_budget)
     print(f"pool ({args.policy}, {traffic_label}):")
     print(pool.describe())
     if scenario is not None:
@@ -533,6 +535,10 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=EXECUTORS,
                    help="evaluation backend for --jobs > 1 "
                         "(process scales on GIL builds)")
+    p.add_argument("--estimator", default="scalar", choices=ESTIMATORS,
+                   help="candidate evaluation backend: the scalar "
+                        "per-layer model or the numpy batch model "
+                        "(same selection, faster sweeps)")
     p.add_argument("--top-k", type=int, default=5, dest="top_k",
                    help="number of ranked designs to keep")
     p.add_argument("-v", "--verbose", action="store_true")
@@ -636,6 +642,10 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="report_json",
                    help="also write the ServingReport as JSON "
                         "(the CI artifact format)")
+    p.add_argument("--event-budget", type=int, default=None,
+                   metavar="N", dest="event_budget",
+                   help="kernel runaway-loop budget (default 1M); "
+                        "raise for large replays (~3 events/request)")
     p.add_argument("--dse", action="store_true",
                    help="run the DSE instead of the paper configuration")
     p.set_defaults(func=_cmd_serve)

@@ -51,6 +51,7 @@ from repro.estimator.latency import (
     estimate_layer,
     estimate_network,
 )
+from repro.estimator.vectorized import BatchLayerEstimator
 from repro.fpga.device import FpgaDevice
 from repro.fpga.resources import ResourceBudget
 from repro.ir.graph import Network
@@ -312,6 +313,7 @@ def run_dse(
     options = options or DseOptions()
     if cal is None:
         cal = get_calibration(device.name)
+    shared_cache = cache if options.use_cache else None
     if not options.use_cache:
         cache = None
     elif cache is None:
@@ -366,7 +368,44 @@ def run_dse(
         elif objective < -worst_of_top_k[0]:
             heapq.heapreplace(worst_of_top_k, -objective)
 
-    if options.jobs > 1 and options.executor == "process":
+    if options.estimator == "vectorized":
+        # Candidate-batch evaluation: bounds/best-first still prune
+        # first, and only the survivors of each batch reach the numpy
+        # column math.  Pruning is checked per batch (exactly like the
+        # thread/process paths check it per submission batch), so the
+        # pruned *count* can differ from the serial scalar path while
+        # the selection — final sort included — stays byte-identical.
+        # Only a *caller-supplied* cache is threaded through: the batch
+        # estimator memoizes its own partitions and never re-reads
+        # estimates, so offers into the ephemeral internal cache would
+        # be pure key-hashing cost with no possible reader — a shared
+        # cache, by contrast, outlives the run (store flushes, later
+        # scalar lookups) and gets the selected rows offered into it.
+        batch_estimator = BatchLayerEstimator(
+            device, network, cal=cal, cache=shared_cache
+        )
+        step = 64 if options.prune else max(len(order), 1)
+        for start in range(0, len(order), step):
+            survivors = []
+            for index in order[start:start + step]:
+                if prunable(index):
+                    pruned += 1
+                    continue
+                survivors.append(index)
+            if not survivors:
+                continue
+            batch = batch_estimator.map_candidates(
+                [candidates[index].cfg for index in survivors]
+            )
+            for index, result in zip(survivors, batch):
+                if result is None:
+                    continue
+                mapping, estimate = result
+                admit((
+                    _objective(estimate, options.objective),
+                    index, candidates[index], mapping, estimate,
+                ))
+    elif options.jobs > 1 and options.executor == "process":
         batch = max(2 * options.jobs, 1)
         payload = (
             device, network, cal, candidates,

@@ -29,6 +29,10 @@ OBJECTIVES = ("throughput", "latency")
 #: Execution backends for ``jobs > 1`` candidate evaluation.
 EXECUTORS = ("serial", "thread", "process")
 
+#: Step-2/3 evaluation backends: the per-candidate scalar model or the
+#: numpy candidate-batch model (byte-identical selections either way).
+ESTIMATORS = ("scalar", "vectorized")
+
 
 @dataclass(frozen=True)
 class DseOptions:
@@ -60,8 +64,25 @@ class DseOptions:
     #: pre-executor behaviour); "process" ships pickled candidate
     #: batches to a ProcessPoolExecutor, which scales on GIL builds.
     executor: str = "serial"
+    #: "scalar" | "vectorized" — how Step 2/3 evaluates candidates.
+    #: "vectorized" batches surviving candidates through
+    #: :class:`repro.estimator.vectorized.BatchLayerEstimator` (numpy
+    #: column math, byte-identical selection); it evaluates batches
+    #: in-process, so it composes with pruning/best-first/caching but
+    #: not with ``jobs > 1``.
+    estimator: str = "scalar"
 
     def __post_init__(self) -> None:
+        if self.estimator not in ESTIMATORS:
+            raise DseError(
+                f"unknown estimator {self.estimator!r}; "
+                f"expected one of {ESTIMATORS}"
+            )
+        if self.estimator == "vectorized" and self.jobs > 1:
+            raise DseError(
+                "estimator='vectorized' evaluates candidate batches "
+                "in-process; it does not compose with jobs > 1"
+            )
         if self.executor not in EXECUTORS:
             raise DseError(
                 f"unknown executor {self.executor!r}; "

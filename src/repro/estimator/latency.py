@@ -146,13 +146,22 @@ def estimate_layer(
     weight group loads), epilogue (last save) and per-group DDR/pipeline
     overheads — the effects the max() of Eq. 12-15 abstracts away.
 
+    ``cal`` is **accepted and ignored**: the latency equations are
+    calibration-free (calibration feeds the resource model, Eq. 3-5).
+    The parameter survives for signature symmetry with the cached path
+    — :meth:`repro.pipeline.cache.EvaluationCache.estimate` keeps
+    ``cal`` in its memo key so a future calibrated latency term can
+    never read stale persisted entries — and every call site threads
+    the session's profile through uniformly.  The batch API
+    (:class:`repro.estimator.vectorized.BatchLayerEstimator`) does not
+    inherit the dead argument: its estimation methods take no ``cal``.
+
     ``partition`` may carry a precomputed
     :class:`~repro.mapping.partition.LayerPartition` for this
     (layer, cfg, mode, fused_pool) — the group geometry is independent of
     the dataflow, data widths, clock and instance count, so the
     evaluation cache shares it across those dimensions.
     """
-    del cal  # latency is calibration-free; kept for signature symmetry
     if partition is None:
         partition = partition_layer(cfg, info, mode, fused_pool)
     if dataflow == "is" and partition.n_c_groups > 1:

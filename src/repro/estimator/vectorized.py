@@ -1,0 +1,479 @@
+"""Vectorised candidate-batch latency estimation (the DSE fast path).
+
+:func:`repro.estimator.latency.estimate_layer` evaluates Eq. 6-15 for
+one (candidate, layer, mode, dataflow) at a time; a full sweep calls it
+tens of thousands of times, and the time goes to Python arithmetic and
+cache-key construction, not to the math.  :class:`BatchLayerEstimator`
+evaluates one layer's terms for a whole *batch* of candidates as numpy
+float64 array operations instead — ``(PI, PO, PT, m, freq, widths,
+instances)`` stacked into columns, ``T_CP/T_LDI/T_LDW/T_SV``, the
+IS/WS body maxes and ``T_penalty`` computed columnwise — and
+materialises :class:`~repro.estimator.latency.LayerEstimate` rows only
+where a scalar result is actually needed.
+
+**Exactness.**  The vector path is byte-identical to the scalar
+oracle, not approximately equal.  Every scalar expression is
+replicated element-wise with the same operation order and
+associativity, and IEEE 754 float64 operations are deterministic and
+correctly rounded, so each intermediate is bit-equal.  The one place
+the two paths differ structurally — the scalar path forms integer
+numerators such as ``k * c * r * s * out_h * out_w`` in exact
+Python-int arithmetic and converts to float once, while the vector
+path multiplies float64 values stepwise — stays exact as long as every
+intermediate integer product is below ``2**53`` (float64 represents
+every such integer exactly, and a product of exactly-represented
+integers below the limit is itself exact).  The constructor checks
+this per layer and refuses networks beyond it; nothing in the zoo
+comes within orders of magnitude.  Selection order is replicated too:
+latencies are stacked in the (mode, dataflow) iteration order of
+:func:`~repro.dse.engine.map_network` and ``argmin``/``argmax`` pick
+the *first* extremum, exactly matching the scalar strict-``<`` update
+and the first-maximum ``bound`` key.
+
+**Group geometry.**  The partition group counts are the only
+per-candidate scalars that cannot vectorise, but they depend only on
+the *partition projection* ``(PI, PO, PT, buffer sizes)`` — a
+621-candidate VU9P sweep collapses onto a few dozen — so one
+:class:`~repro.mapping.partition.LayerPartition` per unique projection
+per (layer, mode) supplies ``GK``/row/total counts for the whole
+column, routed through the
+:class:`~repro.pipeline.cache.EvaluationCache` when one is threaded so
+partitions keep flowing into the on-disk store.  Selected estimates
+are offered back into the cache the same way
+(:meth:`~repro.pipeline.cache.EvaluationCache.offer_estimate`), which
+keeps the cache/store protocol working without paying the per-call
+key-building cost for the combinations that lost.
+
+Calibration is *not* a parameter of the batch API: ``estimate_layer``
+accepts-and-ignores ``cal`` (latency is calibration-free), so the
+batch methods simply do not take one.  The constructor keeps the
+session's profile solely to build cache/store keys equal to the
+scalar path's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.params import SUPPORTED_PT, AcceleratorConfig
+from repro.errors import DseError, ReproError
+from repro.estimator.calibration import CalibrationProfile
+from repro.estimator.latency import (
+    GROUP_OVERHEAD_CYCLES,
+    LayerEstimate,
+    NetworkEstimate,
+)
+from repro.fpga.device import FpgaDevice
+from repro.ir.graph import LayerInfo, Network
+from repro.ir.layers import Dense
+from repro.mapping.partition import (
+    LayerPartition,
+    fused_pool_for,
+    partition_layer,
+)
+from repro.mapping.strategy import (
+    DATAFLOWS,
+    MODES,
+    LayerMapping,
+    NetworkMapping,
+    winograd_supported,
+)
+
+#: (mode, dataflow) combinations in ``map_network``'s iteration order —
+#: ``argmin`` over this axis replicates its first-strict-minimum pick.
+COMBOS: Tuple[Tuple[str, str], ...] = tuple(
+    (mode, dataflow) for mode in MODES for dataflow in DATAFLOWS
+)
+
+#: Bound labels in the dict order of ``estimate_layer``'s ``terms`` —
+#: ``argmax`` over this axis replicates its first-maximum ``bound``.
+BOUND_LABELS = ("input", "weight", "compute", "save")
+
+#: Largest integer float64 represents exactly; the stepwise numerator
+#: products must stay below it for the byte-identity argument to hold.
+_EXACT_LIMIT = 2**53
+
+
+class _LayerGeometry:
+    """Per-layer constants of Eq. 6-11, precomputed once per network."""
+
+    __slots__ = (
+        "info", "index", "pool", "name", "ops", "wino_ok", "blocks",
+        "kc", "chw", "sv_elems", "num_spat", "wgt_spat", "out_hw",
+    )
+
+    def __init__(self, network: Network, info: LayerInfo):
+        layer = info.layer
+        if isinstance(layer, Dense):
+            c, h, w = info.input_shape.size, 1, 1
+            r = s = 1
+            k = layer.out_features
+        else:
+            c = info.input_shape.channels
+            h, w = info.input_shape.height, info.input_shape.width
+            r, s = layer.kernel_size
+            k = layer.out_channels
+        out_h, out_w = info.output_shape.height, info.output_shape.width
+        self.info = info
+        self.index = info.index
+        self.pool = fused_pool_for(network, info.index)
+        self.name = layer.name
+        self.ops = info.ops
+        self.wino_ok = winograd_supported(info)
+        self.blocks = (-(-r // 3)) * (-(-s // 3))
+        self.kc = k * c
+        self.out_hw = out_h * out_w
+        self.chw = c * h * w  # Eq. 10 numerator
+        self.sv_elems = k * out_h * out_w  # Eq. 11 numerator
+        self.num_spat = k * c * r * s * out_h * out_w  # Eq. 6 numerator
+        self.wgt_spat = k * c * r * s  # Eq. 8 numerator
+        pt_max = max(SUPPORTED_PT)
+        worst = max(
+            self.num_spat,
+            self.kc * self.blocks * pt_max * pt_max * self.out_hw,
+        )
+        if worst >= _EXACT_LIMIT:
+            raise DseError(
+                f"layer {self.name!r} is too large for the vectorized "
+                f"estimator's exact float64 products ({worst} >= 2**53); "
+                "use estimator='scalar'"
+            )
+
+
+class BatchLayerEstimator:
+    """Eq. 6-15 for *all* candidates of a batch as numpy column ops.
+
+    One instance serves one ``(device, network)`` pair for the lifetime
+    of a DSE run: layer geometry is precomputed at construction and
+    partition lookups are memoized across batches.  ``cache`` is an
+    optional :class:`~repro.pipeline.cache.EvaluationCache`
+    (duck-typed, like :func:`~repro.estimator.latency.estimate_network`
+    takes it): partitions are routed through it and the selected
+    estimates are offered back, so a store-backed session persists the
+    vectorized run's results exactly like a scalar run's.
+    """
+
+    def __init__(
+        self,
+        device: FpgaDevice,
+        network: Network,
+        cal: Optional[CalibrationProfile] = None,
+        cache=None,
+    ):
+        self.device = device
+        self.network = network
+        #: Cache-key parity with the scalar path only — the latency
+        #: math never reads it (see the module docstring).
+        self._cal = cal
+        self.cache = cache
+        self.layers = [
+            _LayerGeometry(network, info)
+            for info in network.compute_layers()
+        ]
+        #: (layer index, mode, projection) -> LayerPartition | None
+        #: (None memoizes an infeasible projection).
+        self._partitions: Dict[Tuple, Optional[LayerPartition]] = {}
+        #: layer index -> cache signature (computed lazily: only a
+        #: cache-backed run offers estimates, and the signature is
+        #: per-layer, amortised over hundreds of per-candidate offers).
+        self._signatures: Dict[int, Tuple] = {}
+
+    def _signature_for(self, geom: _LayerGeometry) -> Tuple:
+        try:
+            return self._signatures[geom.index]
+        except KeyError:
+            # Local import: the estimator layer stays import-free of the
+            # pipeline layer (the cache is accepted duck-typed).
+            from repro.pipeline.cache import layer_signature
+
+            sig = layer_signature(geom.info, geom.pool)
+            self._signatures[geom.index] = sig
+            return sig
+
+    # -- group-geometry gathering -----------------------------------------
+
+    @staticmethod
+    def _projection(cfg: AcceleratorConfig) -> Tuple:
+        """The fields a partition depends on (see EvaluationCache)."""
+        return (
+            cfg.pi, cfg.po, cfg.pt,
+            cfg.input_buffer_vecs, cfg.weight_buffer_vecs,
+            cfg.output_buffer_vecs,
+        )
+
+    def _partition_for(
+        self, geom: _LayerGeometry, mode: str, proj: Tuple,
+        cfg: AcceleratorConfig,
+    ) -> Optional[LayerPartition]:
+        key = (geom.index, mode, proj)
+        try:
+            return self._partitions[key]
+        except KeyError:
+            pass
+        try:
+            if self.cache is not None:
+                partition = self.cache.partition(
+                    cfg, geom.info, mode, geom.pool
+                )
+            else:
+                partition = partition_layer(cfg, geom.info, mode, geom.pool)
+        except ReproError:
+            partition = None
+        self._partitions[key] = partition
+        return partition
+
+    def _gather_groups(self, geom, mode, reps, proj_ids):
+        """Group-count columns, one partition per unique projection."""
+        count = len(reps)
+        ok = np.zeros(count, dtype=bool)
+        gk = np.ones(count)
+        n_rows = np.ones(count)
+        gc = np.ones(count)
+        groups = np.ones(count)
+        for u, (proj, cfg) in enumerate(reps):
+            partition = self._partition_for(geom, mode, proj, cfg)
+            if partition is None:
+                continue
+            ok[u] = True
+            gk[u] = partition.n_k_groups * partition.n_c_groups
+            n_rows[u] = partition.n_row_groups
+            gc[u] = partition.n_c_groups
+            groups[u] = partition.total_groups
+        return (
+            ok[proj_ids], gk[proj_ids], n_rows[proj_ids],
+            gc[proj_ids], groups[proj_ids],
+        )
+
+    # -- Eq. 6-15 columns --------------------------------------------------
+
+    def _columns(self, cfgs: Sequence[AcceleratorConfig]):
+        device = self.device
+        pi = np.array([cfg.pi for cfg in cfgs], dtype=np.float64)
+        po = np.array([cfg.po for cfg in cfgs], dtype=np.float64)
+        pt = np.array([cfg.pt for cfg in cfgs], dtype=np.float64)
+        m = np.array([cfg.m for cfg in cfgs], dtype=np.float64)
+        freq = np.array(
+            [cfg.frequency_hz for cfg in cfgs], dtype=np.float64
+        )
+        bw_f = np.array(
+            [
+                device.bandwidth_elems(cfg.data_width, cfg.instances)
+                for cfg in cfgs
+            ],
+            dtype=np.float64,
+        )
+        bw_w = np.array(
+            [
+                device.bandwidth_elems(cfg.weight_width, cfg.instances)
+                for cfg in cfgs
+            ],
+            dtype=np.float64,
+        )
+        return pi, po, pt, m, freq, bw_f, bw_w
+
+    def _mode_times(self, geom, mode, cols):
+        """Columnwise ``_module_times``: T_CP, T_LDI, T_LDW, T_SV."""
+        pi, po, pt, m, freq, bw_f, bw_w = cols
+        if mode == "wino":
+            kcb = float(geom.kc * geom.blocks)
+            t_comp = (kcb * pt * pt * geom.out_hw) / (
+                freq * pi * po * pt * pt * m * m
+            )  # Eq. 7
+            wgt_elems = kcb * pt * pt
+        else:
+            t_comp = geom.num_spat / (freq * pi * po * pt * pt)  # Eq. 6
+            wgt_elems = float(geom.wgt_spat)
+        t_ldw = wgt_elems / np.minimum(bw_w, freq * pi * po * pt)  # Eq. 8/9
+        t_ldi = geom.chw / np.minimum(bw_f, freq * pi * pt)  # Eq. 10
+        t_sv = geom.sv_elems / np.minimum(bw_f, freq * po * pt)  # Eq. 11
+        return t_comp, t_ldi, t_ldw, t_sv
+
+    def _evaluate(self, cfgs: Sequence[AcceleratorConfig]):
+        """All terms for every (layer, combo, candidate).
+
+        Returns, per layer, one row per :data:`COMBOS` entry: ``None``
+        when the combination is infeasible for the whole batch, else
+        ``(feasible, t_comp, t_ldi, t_ldw, t_sv, t_penalty, latency,
+        bound_idx)`` column arrays.
+        """
+        cols = self._columns(cfgs)
+        freq = cols[4]
+        uniq: Dict[Tuple, int] = {}
+        reps: List[Tuple[Tuple, AcceleratorConfig]] = []
+        proj_ids = np.empty(len(cfgs), dtype=np.intp)
+        for j, cfg in enumerate(cfgs):
+            proj = self._projection(cfg)
+            u = uniq.get(proj)
+            if u is None:
+                u = uniq[proj] = len(reps)
+                reps.append((proj, cfg))
+            proj_ids[j] = u
+        overhead = float(GROUP_OVERHEAD_CYCLES)
+
+        per_layer = []
+        for geom in self.layers:
+            combo_rows: List[Optional[Tuple]] = []
+            for mode in MODES:
+                if mode == "wino" and not geom.wino_ok:
+                    combo_rows.extend((None, None))
+                    continue
+                ok, gk, n_rows, gc, groups = self._gather_groups(
+                    geom, mode, reps, proj_ids
+                )
+                if not ok.any():
+                    combo_rows.extend((None, None))
+                    continue
+                t_comp, t_ldi, t_ldw, t_sv = self._mode_times(
+                    geom, mode, cols
+                )
+                t_penalty = (
+                    t_ldi / np.maximum(n_rows, 1.0)
+                    + t_ldw / np.maximum(gk, 1.0)
+                    + t_sv / np.maximum(n_rows, 1.0)
+                    + groups * overhead / freq
+                )
+                for dataflow in DATAFLOWS:
+                    if dataflow == "is":
+                        # Eq. 12 / 14 — and the GC == 1 rule the scalar
+                        # path enforces with UnsupportedLayerError.
+                        feasible = ok & (gc == 1.0)
+                        input_term = t_ldi
+                        weight_term = n_rows * t_ldw
+                    else:
+                        # Eq. 13 / 15.
+                        feasible = ok
+                        input_term = gk * t_ldi
+                        weight_term = t_ldw
+                    if not feasible.any():
+                        combo_rows.append(None)
+                        continue
+                    body = np.maximum(
+                        np.maximum(
+                            np.maximum(input_term, weight_term), t_comp
+                        ),
+                        t_sv,
+                    )
+                    latency = body + t_penalty
+                    bound_idx = np.argmax(
+                        np.stack(
+                            (input_term, weight_term, t_comp, t_sv)
+                        ),
+                        axis=0,
+                    )
+                    combo_rows.append((
+                        feasible, t_comp, t_ldi, t_ldw, t_sv,
+                        t_penalty, latency, bound_idx,
+                    ))
+            per_layer.append(combo_rows)
+        return per_layer
+
+    # -- materialisation ---------------------------------------------------
+
+    @staticmethod
+    def _materialize(geom, row, j, mode, dataflow) -> LayerEstimate:
+        """One scalar :class:`LayerEstimate` out of the column arrays."""
+        return LayerEstimate(
+            layer_name=geom.name,
+            mode=mode,
+            dataflow=dataflow,
+            t_comp=float(row[1][j]),
+            t_ldi=float(row[2][j]),
+            t_ldw=float(row[3][j]),
+            t_sv=float(row[4][j]),
+            t_penalty=float(row[5][j]),
+            latency=float(row[6][j]),
+            bound=BOUND_LABELS[int(row[7][j])],
+            ops=geom.ops,
+        )
+
+    def estimate_grid(
+        self, cfgs: Sequence[AcceleratorConfig]
+    ) -> List[List[Dict[Tuple[str, str], Optional[LayerEstimate]]]]:
+        """Every (layer, mode, dataflow) estimate per candidate.
+
+        ``grid[j][li][(mode, dataflow)]`` is the materialised
+        :class:`LayerEstimate` of candidate ``j`` on compute layer
+        ``li`` — or ``None`` where the scalar path raises.  This is the
+        exhaustive view the property tests compare term by term against
+        :func:`~repro.estimator.latency.estimate_layer`.
+        """
+        cfgs = list(cfgs)
+        per_layer = self._evaluate(cfgs)
+        grid = []
+        for j in range(len(cfgs)):
+            by_layer = []
+            for li, geom in enumerate(self.layers):
+                cell: Dict[Tuple[str, str], Optional[LayerEstimate]] = {}
+                for ci, (mode, dataflow) in enumerate(COMBOS):
+                    row = per_layer[li][ci]
+                    if row is None or not row[0][j]:
+                        cell[(mode, dataflow)] = None
+                    else:
+                        cell[(mode, dataflow)] = self._materialize(
+                            geom, row, j, mode, dataflow
+                        )
+                by_layer.append(cell)
+            grid.append(by_layer)
+        return grid
+
+    def map_candidates(
+        self, cfgs: Sequence[AcceleratorConfig]
+    ) -> List[Optional[Tuple[NetworkMapping, NetworkEstimate]]]:
+        """Step 2 for a whole candidate batch at once.
+
+        Per candidate: the ``(mapping, estimate)`` pair
+        :func:`~repro.dse.engine.map_network` would return, or ``None``
+        where it would raise :class:`~repro.errors.DseError` (some
+        layer fits no combination).  Results are byte-identical to the
+        scalar path, runner-up ties included.
+        """
+        cfgs = list(cfgs)
+        if not cfgs:
+            return []
+        per_layer = self._evaluate(cfgs)
+        n = len(cfgs)
+        n_layers = len(self.layers)
+        alive = np.ones(n, dtype=bool)
+        choices = np.zeros((n_layers, n), dtype=np.intp)
+        for li in range(n_layers):
+            lat = np.full((len(COMBOS), n), np.inf)
+            for ci, row in enumerate(per_layer[li]):
+                if row is None:
+                    continue
+                lat[ci] = np.where(row[0], row[6], np.inf)
+            best = np.argmin(lat, axis=0)
+            choices[li] = best
+            alive &= np.isfinite(lat[best, np.arange(n)])
+
+        results: List[Optional[Tuple[NetworkMapping, NetworkEstimate]]] = []
+        for j, cfg in enumerate(cfgs):
+            if not alive[j]:
+                results.append(None)
+                continue
+            selections = []
+            estimates = []
+            for li, geom in enumerate(self.layers):
+                ci = int(choices[li, j])
+                mode, dataflow = COMBOS[ci]
+                estimate = self._materialize(
+                    geom, per_layer[li][ci], j, mode, dataflow
+                )
+                selections.append(LayerMapping(geom.name, mode, dataflow))
+                estimates.append(estimate)
+                if self.cache is not None:
+                    self.cache.offer_estimate(
+                        cfg, self.device, geom.info, mode, dataflow,
+                        estimate, self._cal, geom.pool,
+                        signature=self._signature_for(geom),
+                    )
+            results.append((
+                NetworkMapping(self.network.name, selections),
+                NetworkEstimate(
+                    network_name=self.network.name,
+                    layers=estimates,
+                    instances=cfg.instances,
+                ),
+            ))
+        return results

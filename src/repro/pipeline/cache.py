@@ -269,6 +269,50 @@ class EvaluationCache:
             self._dirty_estimates.add(key)
         return estimate
 
+    def offer_estimate(
+        self,
+        cfg: AcceleratorConfig,
+        device: FpgaDevice,
+        info: LayerInfo,
+        mode: str,
+        dataflow: str,
+        estimate: LayerEstimate,
+        cal: Optional[CalibrationProfile] = None,
+        fused_pool: int = 1,
+        signature: Optional[tuple] = None,
+    ) -> bool:
+        """Insert an externally computed estimate (the vectorized DSE
+        path materialises its selected rows through here).
+
+        The key matches :meth:`estimate`'s exactly, so offered rows are
+        indistinguishable from computed ones to later lookups, to
+        :meth:`take_dirty`/store flushes and to process-worker
+        snapshots.  Present keys win (first writer, like :meth:`warm`
+        and :meth:`merge`); counters are untouched — an offer is
+        neither a hit nor a miss.  Returns ``True`` when inserted.
+
+        ``signature`` may carry a precomputed
+        ``layer_signature(info, fused_pool)`` — the signature is
+        per-layer, not per-candidate, so batch callers amortise it
+        across hundreds of offers.
+        """
+        key = (
+            signature if signature is not None
+            else layer_signature(info, fused_pool),
+            cfg,
+            device.name,
+            device.memory,
+            mode,
+            dataflow,
+            cal,
+        )
+        with self._lock:
+            if key in self._estimates:
+                return False
+            self._estimates[key] = (estimate, None, estimate.layer_name)
+            self._dirty_estimates.add(key)
+            return True
+
     @property
     def stats(self) -> CacheStats:
         with self._lock:

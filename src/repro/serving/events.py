@@ -33,6 +33,18 @@ so a closed-loop client's completion is processed before the arrival it
 causes; ``Arrival`` precedes ``Flush`` so a request arriving exactly at
 a wait deadline joins that flush — the ordering the pre-kernel batcher
 implemented inline.
+
+The kernel is also the serving layer's hot loop — a trace replay
+dispatches millions of events — so the implementation spends nothing
+per event that the semantics do not require.  The heap holds plain
+``(time, priority, seq, entry)`` tuples: heapq compares them at C
+speed, and the unique ``seq`` guarantees the ``entry`` handle itself is
+never compared.  Events are ``slots=True`` dataclasses (no per-event
+``__dict__``), :meth:`EventKernel.pending` is an O(1) counter read, and
+:meth:`EventKernel.run` pops same-instant runs in one batch, falling
+back to the heap only when a handler schedules an event that must
+interleave with the batch.  None of this changes the event trace: the
+determinism tests pin pop order across both code paths.
 """
 
 from __future__ import annotations
@@ -56,7 +68,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only, avoids a cycle
     from repro.serving.traffic import Request
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Event:
     """Base event: a virtual timestamp plus a class-level tie priority."""
 
@@ -64,7 +76,7 @@ class Event:
     priority: ClassVar[int] = 100
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardDown(Event):
     """Shard ``shard`` fails at ``time``; its in-flight work is lost."""
 
@@ -72,7 +84,7 @@ class ShardDown(Event):
     priority: ClassVar[int] = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardUp(Event):
     """Shard ``shard`` rejoins the pool at ``time`` (fresh timeline)."""
 
@@ -80,7 +92,7 @@ class ShardUp(Event):
     priority: ClassVar[int] = 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchDone(Event):
     """One completion instant of a dispatched batch.
 
@@ -102,7 +114,7 @@ class BatchDone(Event):
     priority: ClassVar[int] = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PolicyTick(Event):
     """A control-loop heartbeat.
 
@@ -117,7 +129,7 @@ class PolicyTick(Event):
     priority: ClassVar[int] = 3
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Arrival(Event):
     """One request enters the system at ``time``.
 
@@ -131,7 +143,7 @@ class Arrival(Event):
     priority: ClassVar[int] = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flush(Event):
     """A batcher wait-deadline wakeup; ``token`` marks it stale when the
     queue head it was scheduled for has already flushed."""
@@ -141,22 +153,20 @@ class Flush(Event):
 
 
 class _Entry:
-    """Heap entry: orders by (time, priority, sequence), cancellable."""
+    """Cancellable handle for a scheduled event.
 
-    __slots__ = ("time", "priority", "seq", "event", "cancelled", "popped")
+    The heap itself holds ``(time, priority, seq, entry)`` tuples —
+    heapq orders them with C-level tuple comparisons, and the unique
+    ``seq`` means the entry in the last slot is never compared — so the
+    handle carries only the mutable lifecycle flags ``cancel``/``run``
+    need."""
 
-    def __init__(self, event: Event, seq: int):
-        self.time = event.time
-        self.priority = type(event).priority
-        self.seq = seq
+    __slots__ = ("event", "cancelled", "popped")
+
+    def __init__(self, event: Event):
         self.event = event
         self.cancelled = False
         self.popped = False
-
-    def __lt__(self, other: "_Entry") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time, other.priority, other.seq
-        )
 
 
 Handler = Callable[["EventKernel", Event], None]
@@ -174,9 +184,11 @@ class EventKernel:
     """
 
     def __init__(self) -> None:
-        self._heap: List[_Entry] = []
+        #: (time, priority, seq, entry) tuples — see :class:`_Entry`.
+        self._heap: List[tuple] = []
         self._seq = 0
         self._live: Dict[Type[Event], int] = {}
+        self._pending = 0  # sum(self._live.values()), maintained O(1)
         self._handlers: Dict[Type[Event], List[Handler]] = {}
         self.now = 0.0
         self.events_processed = 0
@@ -190,11 +202,14 @@ class EventKernel:
                 f"event {type(event).__name__} scheduled at {event.time} "
                 f"in the past (now {self.now})"
             )
-        entry = _Entry(event, self._seq)
-        self._seq += 1
-        heapq.heappush(self._heap, entry)
+        entry = _Entry(event)
         kind = type(event)
+        heapq.heappush(
+            self._heap, (event.time, kind.priority, self._seq, entry)
+        )
+        self._seq += 1
         self._live[kind] = self._live.get(kind, 0) + 1
+        self._pending += 1
         return entry
 
     def cancel(self, entry: _Entry) -> None:
@@ -205,13 +220,14 @@ class EventKernel:
         if not entry.cancelled and not entry.popped:
             entry.cancelled = True
             self._live[type(entry.event)] -= 1
+            self._pending -= 1
 
     def pending(self, event_type: Optional[Type[Event]] = None) -> int:
         """Live (non-cancelled, not yet popped) events, optionally of
         one type."""
         if event_type is not None:
             return self._live.get(event_type, 0)
-        return sum(self._live.values())
+        return self._pending
 
     # -- dispatch ---------------------------------------------------------
 
@@ -228,22 +244,54 @@ class EventKernel:
         reschedules): exceeding it raises :class:`ServingError` rather
         than spinning forever.
         """
+        heap = self._heap
+        live = self._live
+        get_handlers = self._handlers.get
+        pop = heapq.heappop
         processed = 0
-        while self._heap:
-            entry = heapq.heappop(self._heap)
+        batch: List[tuple] = []
+        while heap or batch:
+            if batch:
+                # A handler may have scheduled an event that sorts
+                # before the rest of the batch (same instant, lower
+                # priority or just a smaller seq than a later push):
+                # one C-level tuple comparison keeps the global
+                # (time, priority, seq) order without re-heaping the
+                # batch.  Pushes into the past are rejected, so the
+                # heap can never hold an event *earlier* than now.
+                if heap and heap[0] < batch[-1]:
+                    item = pop(heap)
+                else:
+                    item = batch.pop()
+            else:
+                item = pop(heap)
+                # Batch the whole same-instant run in one go: the
+                # common trace-replay case pops long runs of events
+                # whose order is already decided.
+                time = item[0]
+                while heap and heap[0][0] == time:
+                    batch.append(pop(heap))
+                batch.reverse()  # ascending order; dispatch from the end
+            entry = item[3]
             if entry.cancelled:
+                # Cancelled entries settled the pending counters in
+                # cancel(); handlers can cancel into the batch too, so
+                # this check runs at dispatch time, not gather time.
                 continue
             entry.popped = True
-            self._live[type(entry.event)] -= 1
-            self.now = entry.time
+            event = entry.event
+            kind = type(event)
+            live[kind] -= 1
+            self._pending -= 1
+            self.now = item[0]
             processed += 1
             if processed > max_events:
                 raise ServingError(
                     f"event budget exhausted after {max_events} events "
                     "- runaway event loop?"
                 )
-            for handler in self._handlers.get(type(entry.event), ()):
-                handler(self, entry.event)
+            for handler in get_handlers(kind, ()):
+                handler(self, event)
         self.events_processed += processed
         return processed
 

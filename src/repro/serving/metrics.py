@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import ServingError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     """Lifecycle timestamps of one served request (virtual seconds).
 
@@ -131,6 +131,14 @@ class ServingReport:
     one) and ``shard_seconds`` the provisioned shard-time it was
     billed — ``None`` means a fixed pool, where it degenerates to
     ``len(shards) * makespan`` (see :meth:`total_shard_seconds`).
+
+    ``events_processed``/``wall_seconds`` measure the *kernel*, not the
+    modeled system: how many events the run dispatched and how much
+    host wall-clock it took (:attr:`events_per_second` is the ratio —
+    the serving layer's perf trajectory metric).  They describe the
+    machine the simulation ran on, so they are excluded from equality
+    (two runs of the same scenario compare equal even though their
+    wall clocks differ).
     """
 
     records: List[RequestRecord]
@@ -141,6 +149,8 @@ class ServingReport:
     unserved: int = 0
     scale_events: List[ScaleEvent] = field(default_factory=list)
     shard_seconds: Optional[float] = None
+    events_processed: int = field(default=0, compare=False)
+    wall_seconds: float = field(default=0.0, compare=False)
 
     def __post_init__(self) -> None:
         if self.shed < 0 or self.rerouted < 0 or self.unserved < 0:
@@ -217,6 +227,13 @@ class ServingReport:
     def scale_downs(self) -> int:
         return sum(1 for e in self.scale_events if e.action == "down")
 
+    @property
+    def events_per_second(self) -> float:
+        """Kernel dispatch rate (host events/s); NaN when unmeasured."""
+        if self.wall_seconds <= 0.0:
+            return float("nan")
+        return self.events_processed / self.wall_seconds
+
     def total_shard_seconds(self) -> float:
         """Provisioned shard-time of the run: the autoscaler's bill, or
         ``shards * makespan`` for a fixed pool.  This is the cost axis
@@ -251,6 +268,9 @@ class ServingReport:
             "p99_latency_s": safe(self.latency_percentile(99)),
             "mean_queue_s": safe(self.mean_queue_seconds),
             "shard_seconds": self.total_shard_seconds(),
+            "events_processed": self.events_processed,
+            "wall_seconds": self.wall_seconds,
+            "events_per_second": safe(self.events_per_second),
             "scale_ups": self.scale_ups,
             "scale_downs": self.scale_downs,
             "scale_events": [
@@ -312,6 +332,12 @@ class ServingReport:
             f"max {max(latencies) * 1e3:.2f} "
             f"(queue {self.mean_queue_seconds * 1e3:.2f} mean)",
         ]
+        if self.wall_seconds > 0.0:
+            lines.append(
+                f"  kernel: {self.events_processed} events in "
+                f"{self.wall_seconds:.3f} s host time "
+                f"({self.events_per_second / 1e6:.2f} M events/s)"
+            )
         # Surface the exceptional counters only when nonzero: a healthy
         # run's report should not advertise the machinery that never
         # fired.

@@ -42,7 +42,9 @@ with it to well under 1%.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ServingError
 from repro.serving.autoscaler import AutoscalerController, AutoscalerOptions
@@ -97,10 +99,12 @@ class _ServeRun:
         server: "ShardServer",
         source: EventSource,
         scenario: Optional[FailureScenario],
+        max_events: Optional[int] = None,
     ):
         self.server = server
         self.source = source
         self.scenario = scenario
+        self.max_events = max_events
         self.kernel = EventKernel()
         self.slo = (
             SloController(server.slo) if server.slo is not None else None
@@ -114,8 +118,11 @@ class _ServeRun:
             shard.name: _Usage() for shard in server.pool
         }
         #: Pending completion entries per shard: (heap entry, event).
-        self.inflight: Dict[str, List] = {
-            shard.name: [] for shard in server.pool
+        #: A deque: completions pop in dispatch order, so the head
+        #: check in ``_on_batch_done`` is O(1) — a list's ``del [0]``
+        #: made long replays quadratic in the queue depth.
+        self.inflight: Dict[str, Deque] = {
+            shard.name: deque() for shard in server.pool
         }
         self.total_ops = 0
         self.shed = 0
@@ -148,9 +155,17 @@ class _ServeRun:
             self.autoscaler.attach(kernel, server.pool)
         if self.scenario is not None:
             self.scenario.prime(kernel, server.pool)
+        # Time the kernel, not the model: priming + draining is the
+        # whole event loop, and events/s over it is the serving
+        # layer's perf trajectory metric.
+        start = time.perf_counter()
         self.source.prime(kernel)
-        kernel.run()
-        return self._report()
+        if self.max_events is None:
+            processed = kernel.run()
+        else:
+            processed = kernel.run(self.max_events)
+        wall = time.perf_counter() - start
+        return self._report(processed, wall)
 
     # -- dispatch path ----------------------------------------------------
 
@@ -212,10 +227,16 @@ class _ServeRun:
 
     def _on_batch_done(self, kernel: EventKernel, event: BatchDone) -> None:
         pending = self.inflight[event.shard]
-        for position, (_entry, candidate) in enumerate(pending):
-            if candidate is event:
-                del pending[position]
-                break
+        if pending and pending[0][1] is event:
+            # Completions pop in dispatch order on a shard's timeline,
+            # so the head match is the steady state.
+            pending.popleft()
+        else:
+            # Out of order only after a rebalance rewound the tail.
+            for position, (_entry, candidate) in enumerate(pending):
+                if candidate is event:
+                    del pending[position]
+                    break
         self.records.extend(event.records)
         usage = self.usage[event.shard]
         usage.requests += len(event.records)
@@ -291,7 +312,7 @@ class _ServeRun:
                 else:
                     keep.append((entry, queued))
             if dropped:
-                self.inflight[shard.name] = keep
+                self.inflight[shard.name] = deque(keep)
                 shard.busy_until = max(
                     (queued.time for _entry, queued in keep),
                     default=kernel.now,
@@ -307,7 +328,9 @@ class _ServeRun:
 
     # -- reporting --------------------------------------------------------
 
-    def _report(self) -> ServingReport:
+    def _report(
+        self, events_processed: int = 0, wall_seconds: float = 0.0
+    ) -> ServingReport:
         self.records.sort(key=lambda record: record.index)
         unserved = sum(len(batch) for batch in self.parked)
         spans = {}
@@ -353,6 +376,8 @@ class _ServeRun:
             unserved=unserved,
             scale_events=scale_events,
             shard_seconds=shard_seconds,
+            events_processed=events_processed,
+            wall_seconds=wall_seconds,
         )
 
 
@@ -381,6 +406,7 @@ class ShardServer:
         self,
         traffic: Traffic,
         scenario: Optional[FailureScenario] = None,
+        max_events: Optional[int] = None,
     ) -> ServingReport:
         """Run one workload; returns the aggregate report.
 
@@ -389,8 +415,11 @@ class ShardServer:
         virtual timelines, the policy's per-run state and the source's
         per-run state are reset first, so back-to-back ``serve`` calls
         measure independent runs (the timing probes stay warm).
+        ``max_events`` raises the kernel's runaway-loop budget for
+        legitimately large workloads (an open-loop run costs roughly
+        three events per request: arrival, flush, completion).
         """
-        run = _ServeRun(self, self._source(traffic), scenario)
+        run = _ServeRun(self, self._source(traffic), scenario, max_events)
         self.last_slo_controller = run.slo
         self.last_autoscaler = run.autoscaler
         return run.execute()

@@ -48,7 +48,7 @@ TRAFFIC_MODELS = ("uniform", "fixed-qps", "poisson", "burst")
 THINK_DISTRIBUTIONS = ("fixed", "exponential")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Request:
     """One inference request: an identity and a virtual arrival time."""
 

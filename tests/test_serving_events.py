@@ -1,6 +1,10 @@
 """Tests for repro.serving.events — the kernel, sources, closed loops."""
 
+import random
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.arch.params import AcceleratorConfig
 from repro.compiler import CompilerOptions
@@ -10,6 +14,7 @@ from repro.ir import zoo
 from repro.pipeline import PipelineSession
 from repro.serving import (
     Arrival,
+    BatchDone,
     BatcherOptions,
     ClosedLoopClientPool,
     DynamicBatcher,
@@ -22,6 +27,7 @@ from repro.serving import (
     ShardDown,
     ShardPool,
     ShardServer,
+    ShardUp,
     make_requests,
 )
 
@@ -120,6 +126,165 @@ class TestEventKernel:
         kernel.push(PolicyTick(time=0.0))
         with pytest.raises(ServingError):
             kernel.run(max_events=100)
+
+
+#: Every event kind, with its class priority — the ordering axis the
+#: fast-path properties pin down.
+EVENT_KINDS = (ShardDown, ShardUp, BatchDone, PolicyTick, Arrival, Flush)
+
+
+def _make_event(kind, time):
+    if kind is Arrival:
+        return Arrival(time=time, request=Request(0, time))
+    if kind in (ShardDown, ShardUp):
+        return kind(time=time, shard="s")
+    return kind(time=time)
+
+
+class TestKernelOrderingProperties:
+    """The same-instant batch pop / tuple-heap rewrite must be
+    observationally identical to the one-pop-at-a-time kernel: events
+    pop in (time, priority, push-sequence) order, always."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        stream=st.lists(
+            st.tuples(
+                st.sampled_from([0.0, 0.25, 0.5, 0.5, 1.0]),
+                st.integers(0, len(EVENT_KINDS) - 1),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        cancel_seed=st.integers(0, 2**16),
+    )
+    def test_pops_follow_time_priority_sequence(self, stream, cancel_seed):
+        """Random pushes (heavy same-instant collisions) with a random
+        cancellation subset pop exactly in the stable (time, priority)
+        sort of the survivors."""
+        kernel = EventKernel()
+        seen = []
+        order_of = {}
+        for kind in EVENT_KINDS:
+            kernel.subscribe(
+                kind, lambda _k, e: seen.append(order_of[id(e)])
+            )
+        entries = []
+        events = []
+        for seq, (time, kind_index) in enumerate(stream):
+            event = _make_event(EVENT_KINDS[kind_index], time)
+            order_of[id(event)] = seq
+            events.append(event)
+            entries.append(kernel.push(event))
+        rng = random.Random(cancel_seed)
+        cancelled = {
+            seq for seq in range(len(entries)) if rng.random() < 0.25
+        }
+        for seq in cancelled:
+            kernel.cancel(entries[seq])
+        survivors = [
+            seq for seq in range(len(events)) if seq not in cancelled
+        ]
+        assert kernel.pending() == len(survivors)
+        processed = kernel.run()
+        assert processed == len(survivors)
+        # Stable sort by (time, priority) == (time, priority, seq)
+        # order, because sorted() preserves push order on ties.
+        expected = sorted(
+            survivors,
+            key=lambda seq: (
+                events[seq].time, type(events[seq]).priority
+            ),
+        )
+        assert seen == expected
+        assert kernel.pending() == 0
+        assert kernel.events_processed == processed
+
+    def test_same_instant_handler_push_interleaves_by_priority(self):
+        """An event pushed by a handler at the *current* instant must
+        still dispatch in priority order relative to events already
+        popped into the same-instant batch."""
+        kernel = EventKernel()
+        seen = []
+
+        def on_tick(k, event):
+            seen.append("tick")
+            k.push(Arrival(time=event.time, request=Request(9, event.time)))
+
+        kernel.subscribe(PolicyTick, on_tick)
+        kernel.subscribe(Arrival, lambda _k, e: seen.append("arrival"))
+        kernel.subscribe(Flush, lambda _k, e: seen.append("flush"))
+        kernel.push(Flush(time=1.0))
+        kernel.push(PolicyTick(time=1.0))
+        assert kernel.run() == 3
+        # PolicyTick(3) first; its same-instant Arrival(4) beats the
+        # pre-batched Flush(5).
+        assert seen == ["tick", "arrival", "flush"]
+
+    def test_same_instant_same_priority_followup_pops_last(self):
+        """A handler-pushed event with the same time and priority gets
+        a later sequence number, so it pops after the batched ones."""
+        kernel = EventKernel()
+        seen = []
+
+        def on_flush(k, event):
+            seen.append(event.token)
+            if event.token == 1:
+                k.push(Flush(time=event.time, token=3))
+
+        kernel.subscribe(Flush, on_flush)
+        kernel.push(Flush(time=1.0, token=1))
+        kernel.push(Flush(time=1.0, token=2))
+        kernel.run()
+        assert seen == [1, 2, 3]
+
+    def test_handler_can_cancel_batched_same_instant_event(self):
+        """Cancellation must be honoured even for events already popped
+        into the same-instant batch (the shard-failure path cancels
+        in-flight completions exactly like this)."""
+        kernel = EventKernel()
+        seen = []
+        handles = {}
+
+        def on_down(k, _event):
+            seen.append("down")
+            k.cancel(handles["flush"])
+
+        kernel.subscribe(ShardDown, on_down)
+        kernel.subscribe(Flush, lambda _k, e: seen.append("flush"))
+        handles["flush"] = kernel.push(Flush(time=1.0))
+        kernel.push(ShardDown(time=1.0, shard="s"))
+        assert kernel.run() == 1
+        assert seen == ["down"]
+        assert kernel.pending() == 0
+
+    def test_report_carries_kernel_throughput(self):
+        pool = ShardPool.replicate(make_session(), 1)
+        report = ShardServer(pool, "round-robin").serve(
+            make_requests("uniform", 8)
+        )
+        assert report.events_processed > 0
+        assert report.wall_seconds > 0.0
+        assert report.events_per_second > 0.0
+        payload = report.to_dict()
+        assert payload["events_processed"] == report.events_processed
+        assert payload["events_per_second"] == pytest.approx(
+            report.events_per_second
+        )
+        assert "events/s" in report.describe()
+
+    def test_kernel_counters_excluded_from_report_equality(self):
+        """Two runs of the same scenario compare equal even though the
+        host wall clock differs."""
+        fast = ServingReport(records=[], shards=[], total_ops=0,
+                             events_processed=10, wall_seconds=0.5)
+        slow = ServingReport(records=[], shards=[], total_ops=0,
+                             events_processed=99, wall_seconds=9.0)
+        assert fast == slow
+        assert fast.events_per_second == pytest.approx(20.0)
+        # Unmeasured reports stay NaN, like the other undefined rates.
+        unmeasured = ServingReport(records=[], shards=[], total_ops=0)
+        assert unmeasured.events_per_second != unmeasured.events_per_second
 
 
 # -- batcher on the kernel -------------------------------------------------
