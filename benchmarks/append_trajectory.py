@@ -22,7 +22,11 @@ import subprocess
 import sys
 from pathlib import Path
 
-#: The per-run numbers worth tracking across PRs.
+#: The per-run numbers worth tracking across PRs.  Serve smokes and
+#: sweep reports share the tracked keys (``count``/``shed``/
+#: ``unserved``/``p99_latency_s``); ``slo_attainment`` and
+#: ``cell_count`` only appear in sweep reports and stay ``None`` for
+#: plain ServingReport smokes.
 SUMMARY_FIELDS = (
     "count",
     "throughput_gops",
@@ -34,6 +38,8 @@ SUMMARY_FIELDS = (
     "shed",
     "unserved",
     "events_per_second",
+    "slo_attainment",
+    "cell_count",
 )
 
 

@@ -256,13 +256,17 @@ def _autoscale_options(args, bounds, pool, max_batch):
 
 
 def _cmd_serve(args) -> int:
-    from repro.serving import FailureScenario, ShardPool, SloOptions
+    from repro.serving import ShardPool, SloOptions, parse_scenario
 
     # Parse the cheap, error-prone options before paying for the
-    # session: a bad spec should fail before DSE/compilation.
+    # session: a bad spec should fail before DSE/compilation.  The
+    # chaos grammar is a superset of the legacy kill/restore one, and
+    # legacy specs compile to event-identical runs (the oracle tests).
     scenario = (
-        FailureScenario.parse(args.scenario) if args.scenario else None
+        parse_scenario(args.scenario, seed=args.seed)
+        if args.scenario else None
     )
+    _parse_serve_shapes(args)
     slo = (
         SloOptions(p99_target_s=args.slo_p99 * 1e-3,
                    action=args.slo_action)
@@ -283,16 +287,35 @@ def _cmd_serve(args) -> int:
         pool.close()
 
 
+def _parse_serve_shapes(args):
+    """Validate ``--shape`` specs early and reject unusable combos."""
+    from repro.errors import ServingError
+    from repro.serving import parse_shape
+
+    shapes = [parse_shape(spec) for spec in (args.shape or [])]
+    if shapes and args.closed_loop is not None:
+        raise ServingError(
+            "--shape warps pre-materialised arrivals; closed-loop "
+            "arrivals depend on completions, so there is nothing to "
+            "warp — drop --shape or --closed-loop"
+        )
+    return shapes
+
+
 def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
     from repro.serving import (
         BatcherOptions,
         ClosedLoopClientPool,
+        Request,
         ShardServer,
         TraceSource,
         analytical_reference,
         make_requests,
+        shape_arrivals,
+        shaped_trace,
     )
 
+    shapes = _parse_serve_shapes(args)
     if args.trace is not None:
         if args.closed_loop is not None:
             from repro.errors import ServingError
@@ -304,6 +327,8 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
         traffic = TraceSource.load(
             args.trace, time_scale=args.trace_scale, loop=args.trace_loop
         )
+        if shapes:
+            traffic = shaped_trace(traffic, shapes)
         traffic_label = traffic.describe()
     elif args.closed_loop is not None:
         # Closed loop: N clients, each re-issuing one think time after
@@ -334,6 +359,17 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
             burst=args.burst,
         )
         traffic_label = f"{args.traffic} traffic"
+        if shapes:
+            warped = shape_arrivals(
+                [request.arrival for request in traffic], shapes
+            )
+            traffic = [
+                Request(index=request.index, arrival=arrival)
+                for request, arrival in zip(traffic, warped)
+            ]
+            traffic_label += " + " + ", ".join(
+                shape.describe() for shape in shapes
+            )
     max_batch = args.max_batch
     if max_batch is None:
         # A batch occupies one shard's NI batch-parallel instances, so
@@ -388,6 +424,69 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
         out.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
         print(f"report written to {out}")
     return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.serving import SweepGrid, SweepOptions, run_sweep
+
+    # Grid construction validates every scenario spec and policy name,
+    # so a bad sweep fails here — before the session pays for
+    # DSE/compilation, and before any worker process spawns.
+    grid = SweepGrid(
+        scenarios=_split_specs(args.scenarios, ";", "--scenarios"),
+        policies=_split_specs(args.policies, ",", "--policies"),
+        pool_sizes=_parse_pools(args.pools),
+    )
+    options = SweepOptions(
+        executor=args.executor,
+        jobs=args.jobs,
+        requests=args.requests,
+        traffic=args.traffic,
+        load_factor=args.load_factor,
+        burst=args.burst,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms * 1e-3,
+        slo_p99_s=(
+            args.slo_p99 * 1e-3 if args.slo_p99 is not None else None
+        ),
+        slo_action=args.slo_action,
+        shapes=tuple(args.shape or ()),
+        event_budget=args.event_budget,
+    )
+    session = _serve_session(args)
+    try:
+        report = run_sweep(session, grid, options, seed=args.seed)
+    finally:
+        session.close()
+    print(report.describe())
+    if args.report_json is not None:
+        out = Path(args.report_json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report.to_json() + "\n")
+        print(f"report written to {out}")
+    return 0
+
+
+def _split_specs(raw, separator, flag):
+    """Split a CLI list flag, rejecting the empty list early."""
+    from repro.errors import ServingError
+
+    specs = [spec.strip() for spec in raw.split(separator)]
+    specs = [spec for spec in specs if spec]
+    if not specs:
+        raise ServingError(f"{flag} must list at least one entry")
+    return specs
+
+
+def _parse_pools(raw):
+    from repro.errors import ServingError
+
+    try:
+        return [int(spec) for spec in _split_specs(raw, ",", "--pools")]
+    except ValueError:
+        raise ServingError(
+            f"--pools expects comma-separated shard counts, got {raw!r}"
+        ) from None
 
 
 def _cmd_cache_info(args) -> int:
@@ -462,6 +561,7 @@ def _cmd_experiments(args) -> int:
     from repro.experiments import (
         ablation,
         autoscale_study,
+        chaos_study,
         estimation_error,
         instruction_stats,
         overhead,
@@ -489,6 +589,7 @@ def _cmd_experiments(args) -> int:
         "serving": lambda: serving_study.main(seed=args.seed),
         "scenarios": lambda: scenario_study.main(seed=args.seed),
         "autoscale": lambda: autoscale_study.main(seed=args.seed),
+        "chaos": lambda: chaos_study.main(seed=args.seed),
     }
     if args.name not in registry:
         print(f"unknown experiment {args.name!r}; "
@@ -603,9 +704,16 @@ def build_parser() -> argparse.ArgumentParser:
                    dest="slo_action",
                    help="what to do while the SLO is breached")
     p.add_argument("--scenario", default=None,
-                   help="failure scenario, e.g. "
-                        "'kill:shard0@0.05,restore@0.12' "
-                        "(virtual seconds)")
+                   help="chaos scenario (virtual seconds), e.g. "
+                        "'kill:shard0@0.05,restore@0.12', "
+                        "'degrade:shard0@0.01..0.05x4', "
+                        "'outage:shard0+shard1@0.02..0.04', "
+                        "'stragglers:shard0+shard1@0..0.1x3*4'")
+    p.add_argument("--shape", action="append", default=None,
+                   metavar="SPEC",
+                   help="warp open-loop/trace arrivals by a traffic "
+                        "shape; repeatable, e.g. 'diurnal:0.5x0.2' or "
+                        "'flash:3@0.05~0.01'")
     p.add_argument("--autoscale", default=None, metavar="MIN:MAX",
                    help="elastic pool bounds; the pool is replicated "
                         "to MAX and the autoscaler drives it against "
@@ -650,6 +758,69 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the DSE instead of the paper configuration")
     p.set_defaults(func=_cmd_serve)
 
+    from repro.serving.sweep import SWEEP_EXECUTORS
+
+    p = sub.add_parser(
+        "sweep",
+        help="seeded scenario x policy x pool chaos grid, optionally "
+             "across worker processes",
+    )
+    add_common(p)
+    p.add_argument("--scenarios",
+                   default="none;kill:shard0@0.005,restore@0.02",
+                   help="';'-separated chaos specs ('none' = baseline; "
+                        "specs use ',' internally)")
+    p.add_argument("--policies", default="round-robin,least-loaded",
+                   help="comma-separated scheduling policies")
+    p.add_argument("--pools", default="2,3",
+                   help="comma-separated shard pool sizes")
+    p.add_argument("--requests", type=int, default=48,
+                   help="open-loop requests per cell")
+    p.add_argument("--traffic", default="poisson",
+                   choices=TRAFFIC_MODELS)
+    p.add_argument("--load-factor", type=float, default=1.5,
+                   dest="load_factor",
+                   help="arrival rate as a multiple of each cell "
+                        "pool's simulated service rate")
+    p.add_argument("--burst", type=int, default=8,
+                   help="burst size for --traffic burst")
+    p.add_argument("--max-batch", type=int, default=None,
+                   dest="max_batch",
+                   help="dynamic batcher: max requests per batch "
+                        "(default: the shard instance count)")
+    p.add_argument("--max-wait-ms", type=float, default=0.0,
+                   dest="max_wait_ms",
+                   help="dynamic batcher: max wait of the oldest "
+                        "queued request")
+    p.add_argument("--slo-p99", type=float, default=None,
+                   metavar="MS", dest="slo_p99",
+                   help="attainment target p99 in ms (default: 4 "
+                        "batch service times per cell)")
+    p.add_argument("--slo-action", default=None, choices=SLO_ACTIONS,
+                   dest="slo_action",
+                   help="arm an SLO controller in every cell "
+                        "(default: observe only)")
+    p.add_argument("--shape", action="append", default=None,
+                   metavar="SPEC",
+                   help="warp every cell's arrivals by a traffic "
+                        "shape; repeatable")
+    p.add_argument("--executor", default="serial",
+                   choices=SWEEP_EXECUTORS,
+                   help="cell execution backend for --jobs > 1; both "
+                        "executors produce byte-identical reports")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel worker processes")
+    p.add_argument("--event-budget", type=int, default=None,
+                   metavar="N", dest="event_budget",
+                   help="per-cell kernel runaway-loop budget")
+    p.add_argument("--report-json", default=None, metavar="PATH",
+                   dest="report_json",
+                   help="write the SweepReport as JSON "
+                        "(the CI artifact format)")
+    p.add_argument("--dse", action="store_true",
+                   help="run the DSE instead of the paper configuration")
+    p.set_defaults(func=_cmd_sweep)
+
     p = sub.add_parser("cache",
                        help="inspect / compact an estimate cache dir")
     cache_sub = p.add_subparsers(dest="cache_command", required=True)
@@ -672,10 +843,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate a paper artifact")
     p.add_argument("name", help="table3|table4|figure6|estimation-error|"
                                 "overhead|vgg16-case|ablation|serving|"
-                                "scenarios|autoscale")
+                                "scenarios|autoscale|chaos")
     p.add_argument("--seed", type=int, default=2020,
                    help="traffic seed for the serving/scenarios/"
-                        "autoscale studies")
+                        "autoscale/chaos studies")
     p.set_defaults(func=_cmd_experiments)
     return parser
 

@@ -24,6 +24,11 @@ from repro.experiments.scenario_study import (
     run_failure_study,
     run_slo_study,
 )
+from repro.experiments.chaos_study import (
+    run_chaos_sweep,
+    run_flash_outage_study,
+    run_straggler_study,
+)
 from repro.experiments.autoscale_study import (
     run_burst_study,
     run_trace_study,
@@ -32,6 +37,9 @@ from repro.experiments.autoscale_study import (
 __all__ = [
     "common",
     "run_burst_study",
+    "run_chaos_sweep",
+    "run_flash_outage_study",
+    "run_straggler_study",
     "run_trace_study",
     "run_failure_study",
     "run_slo_study",

@@ -25,6 +25,16 @@ from repro.serving.autoscaler import (
     AutoscalerOptions,
 )
 from repro.serving.batcher import BatcherOptions, DynamicBatcher
+from repro.serving.chaos import (
+    CHAOS_KINDS,
+    ChaosScenario,
+    Degrade,
+    Kill,
+    Outage,
+    Restore,
+    Stragglers,
+    parse_scenario,
+)
 from repro.serving.events import (
     Arrival,
     BatchDone,
@@ -33,7 +43,9 @@ from repro.serving.events import (
     EventSource,
     Flush,
     PolicyTick,
+    ShardDegrade,
     ShardDown,
+    ShardRestoreRate,
     ShardUp,
 )
 from repro.serving.metrics import (
@@ -59,48 +71,81 @@ from repro.serving.scheduler import (
 from repro.serving.server import ShardServer, analytical_reference
 from repro.serving.shard import Shard, ShardPool
 from repro.serving.slo import SLO_ACTIONS, SloController, SloOptions
+from repro.serving.sweep import (
+    SWEEP_EXECUTORS,
+    SweepCell,
+    SweepGrid,
+    SweepOptions,
+    SweepReport,
+    run_sweep,
+)
 from repro.serving.traffic import (
     THINK_DISTRIBUTIONS,
     TRACE_FIELDS,
     TRAFFIC_MODELS,
+    TRAFFIC_SHAPES,
     ClosedLoopClientPool,
+    Diurnal,
+    FlashCrowd,
     OpenLoopSource,
     Request,
     TraceSource,
     load_trace,
     make_requests,
+    parse_shape,
+    shape_arrivals,
+    shaped_trace,
 )
 
 __all__ = [
+    "analytical_reference",
     "Arrival",
     "AUTOSCALE_METRICS",
     "AutoscalerController",
     "AutoscalerOptions",
     "BatchDone",
     "BatcherOptions",
+    "CHAOS_KINDS",
+    "ChaosScenario",
     "ClosedLoopClientPool",
+    "Degrade",
+    "Diurnal",
     "DynamicBatcher",
     "Event",
     "EventKernel",
     "EventSource",
     "FailureScenario",
+    "FlashCrowd",
     "Flush",
+    "Kill",
     "LeastLoaded",
+    "load_trace",
+    "make_policy",
+    "make_requests",
     "OpenLoopSource",
-    "POLICIES",
+    "Outage",
+    "parse_scenario",
+    "parse_shape",
     "percentile",
+    "POLICIES",
     "PolicyTick",
     "Request",
     "RequestRecord",
+    "Restore",
     "RoundRobin",
+    "run_sweep",
     "ScaleEvent",
     "ScenarioStep",
     "Scheduler",
     "SchedulingPolicy",
     "ServingReport",
+    "shape_arrivals",
+    "shaped_trace",
     "Shard",
+    "ShardDegrade",
     "ShardDown",
     "ShardPool",
+    "ShardRestoreRate",
     "ShardServer",
     "ShardUp",
     "ShardUsage",
@@ -108,12 +153,15 @@ __all__ = [
     "SLO_ACTIONS",
     "SloController",
     "SloOptions",
+    "Stragglers",
+    "SWEEP_EXECUTORS",
+    "SweepCell",
+    "SweepGrid",
+    "SweepOptions",
+    "SweepReport",
     "THINK_DISTRIBUTIONS",
     "TRACE_FIELDS",
-    "TRAFFIC_MODELS",
     "TraceSource",
-    "analytical_reference",
-    "load_trace",
-    "make_policy",
-    "make_requests",
+    "TRAFFIC_MODELS",
+    "TRAFFIC_SHAPES",
 ]

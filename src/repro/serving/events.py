@@ -16,23 +16,30 @@ scenario ⇒ the same event trace, byte for byte.
 
 Event taxonomy (priority breaks same-instant ties, lowest first):
 
-=============  ========  ==================================================
-event          priority  meaning
-=============  ========  ==================================================
-``ShardDown``  0         a shard fails: in-flight work is lost and re-queued
-``ShardUp``    1         a failed shard rejoins the pool
-``BatchDone``  2         one completion instant of a dispatched batch
-``PolicyTick`` 3         a control-loop heartbeat (SLO / autoscaler cadence)
-``Arrival``    4         one request enters the system
-``Flush``      5         a batcher wait-deadline wakeup
-=============  ========  ==================================================
+====================  ========  =========================================
+event                 priority  meaning
+====================  ========  =========================================
+``ShardDown``         0         a shard fails: in-flight work is lost
+                                and re-queued
+``ShardUp``           1         a failed shard rejoins the pool
+``ShardDegrade``      1         a shard slows by a latency multiplier
+``ShardRestoreRate``  1         a degraded shard returns to full speed
+``BatchDone``         2         one completion instant of a dispatched
+                                batch
+``PolicyTick``        3         a control-loop heartbeat (SLO /
+                                autoscaler cadence)
+``Arrival``           4         one request enters the system
+``Flush``             5         a batcher wait-deadline wakeup
+====================  ========  =========================================
 
 ``ShardDown``/``ShardUp`` precede everything so a scenario applies
-before traffic at the same instant; ``BatchDone`` precedes ``Arrival``
-so a closed-loop client's completion is processed before the arrival it
-causes; ``Arrival`` precedes ``Flush`` so a request arriving exactly at
-a wait deadline joins that flush — the ordering the pre-kernel batcher
-implemented inline.
+before traffic at the same instant; the degrade pair shares
+``ShardUp``'s priority (same-instant ties among the three break on push
+order, which the scenario compiler emits sorted); ``BatchDone``
+precedes ``Arrival`` so a closed-loop client's completion is processed
+before the arrival it causes; ``Arrival`` precedes ``Flush`` so a
+request arriving exactly at a wait deadline joins that flush — the
+ordering the pre-kernel batcher implemented inline.
 
 The kernel is also the serving layer's hot loop — a trace replay
 dispatches millions of events — so the implementation spends nothing
@@ -87,6 +94,36 @@ class ShardDown(Event):
 @dataclass(frozen=True, slots=True)
 class ShardUp(Event):
     """Shard ``shard`` rejoins the pool at ``time`` (fresh timeline)."""
+
+    shard: str = ""
+    priority: ClassVar[int] = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ShardDegrade(Event):
+    """Shard ``shard`` slows down at ``time``: every batch dispatched
+    from here on takes ``factor`` times its healthy service time.
+
+    A degraded shard stays *up* — it keeps accepting work, just
+    slowly — which is what distinguishes a straggler from a failure:
+    the scheduler's latency-aware policies route around it instead of
+    the server re-queueing its work.  Batches already in flight keep
+    their original completion instants (the slowdown models contention
+    that affects new work, and rewriting scheduled completions would
+    make in-flight accounting ambiguous — a kill, by contrast, cancels
+    them outright).
+    """
+
+    shard: str = ""
+    factor: float = 1.0
+    priority: ClassVar[int] = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ShardRestoreRate(Event):
+    """Shard ``shard`` returns to full speed at ``time`` (ends a
+    :class:`ShardDegrade` window; batches dispatched after this run at
+    the healthy service time again)."""
 
     shard: str = ""
     priority: ClassVar[int] = 1

@@ -217,6 +217,37 @@ class ServingReport:
     def per_shard(self) -> Dict[str, ShardUsage]:
         return {usage.name: usage for usage in self.shards}
 
+    def slo_attainment(self, target_s: float) -> float:
+        """The fraction of *issued* requests served within ``target_s``.
+
+        The denominator counts served + shed + unserved — a controller
+        that sheds its way to a fast tail must not look like it met the
+        SLO for the requests it dropped.  0.0 when nothing was issued.
+        """
+        if target_s <= 0 or target_s != target_s:
+            raise ServingError(
+                f"SLO target must be positive, got {target_s}"
+            )
+        issued = self.count + self.shed + self.unserved
+        if issued == 0:
+            return 0.0
+        within = sum(1 for r in self.records if r.latency <= target_s)
+        return within / issued
+
+    def survival(self, target_s: float,
+                 multiples: Sequence[float] = (1.0, 2.0, 4.0, 8.0)
+                 ) -> Dict[str, float]:
+        """Survival curve over issued requests: for each multiple ``m``
+        of ``target_s``, the fraction still waiting past ``m * target``
+        (shed and unserved requests never completed, so they exceed
+        every multiple)."""
+        return {
+            f"{multiple:g}x": 1.0 - self.slo_attainment(
+                multiple * target_s
+            )
+            for multiple in multiples
+        }
+
     # -- elasticity view --------------------------------------------------
 
     @property

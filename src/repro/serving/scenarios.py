@@ -18,6 +18,12 @@ comma-separated list of::
 
 e.g. ``kill:shard0@0.05,restore@0.12`` — kill ``shard0`` 50 ms in,
 restore it at 120 ms.
+
+This grammar is a strict subset of the scenario algebra in
+:mod:`repro.serving.chaos` (degraded shards, correlated outages,
+straggler pulse trains): ``parse_scenario`` accepts every legacy spec
+and compiles it to the event-identical run —
+``ChaosScenario.from_failure`` converts existing objects.
 """
 
 from __future__ import annotations

@@ -26,7 +26,13 @@ from __future__ import annotations
 from typing import List, Sequence, Union
 
 from repro.errors import ServingError
-from repro.serving.events import EventKernel, ShardDown, ShardUp
+from repro.serving.events import (
+    EventKernel,
+    ShardDegrade,
+    ShardDown,
+    ShardRestoreRate,
+    ShardUp,
+)
 from repro.serving.shard import Shard
 
 #: Policy names understood by :func:`make_policy` and the CLI.
@@ -100,14 +106,19 @@ def make_policy(name: str) -> SchedulingPolicy:
 class Scheduler:
     """Routes flushed batches to shards under one policy.
 
-    On the event kernel the scheduler is the availability authority:
+    On the event kernel the scheduler is the pool-state authority:
     :meth:`attach` subscribes it to
     :class:`~repro.serving.events.ShardDown` /
-    :class:`~repro.serving.events.ShardUp`, and every assignment sees
-    only the shards that are up at that instant.  Policies are blind to
-    failures — they select over the available subsequence, so a policy
-    written for the full pool rebalances over the survivors for free
-    (round-robin's rotation simply wraps over fewer shards).
+    :class:`~repro.serving.events.ShardUp` (availability) and
+    :class:`~repro.serving.events.ShardDegrade` /
+    :class:`~repro.serving.events.ShardRestoreRate` (service rate), and
+    every assignment sees only the shards that are up at that instant,
+    with each shard's scheduling view scaled by its current rate.
+    Policies are blind to failures — they select over the available
+    subsequence, so a policy written for the full pool rebalances over
+    the survivors for free (round-robin's rotation simply wraps over
+    fewer shards), and a latency-aware policy routes around a degraded
+    straggler with no code of its own.
     """
 
     def __init__(
@@ -124,15 +135,27 @@ class Scheduler:
         )
 
     def attach(self, kernel: EventKernel) -> None:
-        """Subscribe the availability handlers on ``kernel``."""
+        """Subscribe the availability and rate handlers on ``kernel``."""
         kernel.subscribe(ShardDown, self._on_shard_down)
         kernel.subscribe(ShardUp, self._on_shard_up)
+        kernel.subscribe(ShardDegrade, self._on_shard_degrade)
+        kernel.subscribe(ShardRestoreRate, self._on_shard_restore_rate)
 
     def _on_shard_down(self, kernel: EventKernel, event: ShardDown) -> None:
         self.shard_named(event.shard).fail()
 
     def _on_shard_up(self, kernel: EventKernel, event: ShardUp) -> None:
         self.shard_named(event.shard).restore()
+
+    def _on_shard_degrade(
+        self, kernel: EventKernel, event: ShardDegrade
+    ) -> None:
+        self.shard_named(event.shard).degrade(event.factor)
+
+    def _on_shard_restore_rate(
+        self, kernel: EventKernel, event: ShardRestoreRate
+    ) -> None:
+        self.shard_named(event.shard).restore_rate()
 
     def shard_named(self, name: str) -> Shard:
         try:

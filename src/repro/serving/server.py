@@ -57,6 +57,7 @@ from repro.serving.events import (
     ShardDown,
     ShardUp,
 )
+from repro.serving.chaos import ChaosScenario
 from repro.serving.metrics import RequestRecord, ServingReport, ShardUsage
 from repro.serving.scenarios import FailureScenario
 from repro.serving.scheduler import (
@@ -73,6 +74,12 @@ from repro.serving.traffic import OpenLoopSource, Request
 #: keys completion bookkeeping, and independent sources would mint
 #: colliding indices.
 Traffic = Union[Sequence[Request], EventSource]
+
+#: What ``serve`` accepts as a scenario: the legacy kill/restore
+#: :class:`FailureScenario` or the composable
+#: :class:`~repro.serving.chaos.ChaosScenario` — both prime typed
+#: events onto the kernel, so the server treats them identically.
+Scenario = Union[FailureScenario, ChaosScenario]
 
 
 class _Usage:
@@ -98,7 +105,7 @@ class _ServeRun:
         self,
         server: "ShardServer",
         source: EventSource,
-        scenario: Optional[FailureScenario],
+        scenario: Optional[Scenario],
         max_events: Optional[int] = None,
     ):
         self.server = server
@@ -203,7 +210,10 @@ class _ServeRun:
     ) -> None:
         records = shard.execute(batch, at)
         start = records[0].started
-        rounds = shard.runner.completion_groups(len(batch))
+        # The *shard*'s completion groups, not the runner's: a degraded
+        # shard stretches its offsets by rate_factor and the BatchDone
+        # instants must match the records execute() just produced.
+        rounds = shard.completion_groups(len(batch))
         taken = 0
         previous = start
         for offset, images in rounds:
@@ -405,7 +415,7 @@ class ShardServer:
     def serve(
         self,
         traffic: Traffic,
-        scenario: Optional[FailureScenario] = None,
+        scenario: Optional[Scenario] = None,
         max_events: Optional[int] = None,
     ) -> ServingReport:
         """Run one workload; returns the aggregate report.

@@ -59,6 +59,13 @@ class Shard:
         #: accounting, not here — a dispatch-time counter would count
         #: work a failure scenario later destroys.
         self.busy_until = 0.0
+        #: Latency multiplier driven by chaos scenarios
+        #: (:class:`~repro.serving.events.ShardDegrade` /
+        #: :class:`~repro.serving.events.ShardRestoreRate`): batches
+        #: dispatched while it is > 1 take that many times their
+        #: healthy service time.  The scheduling views scale by it too,
+        #: so latency-aware policies route around a straggler.
+        self.rate_factor = 1.0
 
     # -- static properties ------------------------------------------------
 
@@ -95,10 +102,17 @@ class Shard:
         return max(self.busy_until - now, 0.0)
 
     def expected_service_seconds(self, count: int) -> float:
-        """Analytical batch service time (round-robin over NI)."""
+        """Analytical batch service time (round-robin over NI),
+        scaled by the current :attr:`rate_factor` so latency-aware
+        policies see a straggler as slow, not as free."""
         if count < 1:
             raise ServingError(f"batch size must be >= 1, got {count}")
-        return math.ceil(count / self.instances) * self.analytical_seconds()
+        seconds = (
+            math.ceil(count / self.instances) * self.analytical_seconds()
+        )
+        if self.rate_factor != 1.0:
+            seconds *= self.rate_factor
+        return seconds
 
     def probe_service_seconds(self, count: int) -> float:
         """:meth:`expected_service_seconds` from the simulated probe
@@ -107,7 +121,10 @@ class Shard:
         warm-up and SLO targets expressed in batch times)."""
         if count < 1:
             raise ServingError(f"batch size must be >= 1, got {count}")
-        return math.ceil(count / self.instances) * self.probe_seconds()
+        seconds = math.ceil(count / self.instances) * self.probe_seconds()
+        if self.rate_factor != 1.0:
+            seconds *= self.rate_factor
+        return seconds
 
     def expected_completion(self, count: int, now: float) -> float:
         """When a batch dispatched now would finish on this shard."""
@@ -132,6 +149,8 @@ class Shard:
             raise ServingError("empty batch dispatched")
         self.probe_seconds()  # seed replicas before the runner math
         offsets = self.runner.completion_offsets(len(batch))
+        if self.rate_factor != 1.0:
+            offsets = [offset * self.rate_factor for offset in offsets]
         start = max(at, self.busy_until)
         records = []
         for offset, request in zip(offsets, batch):
@@ -149,22 +168,52 @@ class Shard:
         self.busy_until = records[-1].completed
         return records
 
+    def completion_groups(self, count: int) -> List[tuple]:
+        """The runner's per-round completion instants
+        (:meth:`~repro.runtime.batch.BatchRunner.completion_groups`),
+        scaled by the current :attr:`rate_factor` — the offsets the
+        server's ``BatchDone`` events must use so they stay consistent
+        with :meth:`execute`'s per-request records."""
+        groups = self.runner.completion_groups(count)
+        if self.rate_factor != 1.0:
+            groups = [
+                (offset * self.rate_factor, images)
+                for offset, images in groups
+            ]
+        return groups
+
     def reset(self) -> None:
-        """Clear the virtual timeline and mark the shard available
-        (timing probe stays warm)."""
+        """Clear the virtual timeline and mark the shard available at
+        full speed (timing probe stays warm)."""
         self.up = True
         self.busy_until = 0.0
+        self.rate_factor = 1.0
 
     def fail(self) -> None:
         """Take the shard down: the timeline is wiped (in-flight work
         is lost — the server re-queues it) and the scheduler stops
-        routing here until :meth:`restore`."""
+        routing here until :meth:`restore`.  A kill also clears any
+        degradation: the replacement a restore models is a fresh,
+        healthy deployment."""
         self.reset()
         self.up = False
 
     def restore(self) -> None:
         """Bring a failed shard back with a fresh timeline."""
         self.up = True
+
+    def degrade(self, factor: float) -> None:
+        """Slow the shard by ``factor`` (>= 1) until
+        :meth:`restore_rate`; the shard stays up and keeps its queue."""
+        if not math.isfinite(factor) or factor < 1.0:
+            raise ServingError(
+                f"degrade factor must be finite and >= 1, got {factor}"
+            )
+        self.rate_factor = factor
+
+    def restore_rate(self) -> None:
+        """Return a degraded shard to its healthy service time."""
+        self.rate_factor = 1.0
 
     def describe(self) -> str:
         return (

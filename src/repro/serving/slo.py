@@ -21,6 +21,13 @@ Control state only changes on ticks — decisions are piecewise-constant
 at the controller's cadence, like a real control loop, and the tick
 chain ends itself once no other events remain, so a run always
 terminates.
+
+The controller never inspects scenario state: a degraded shard
+(:class:`~repro.serving.events.ShardDegrade`) simply surfaces as
+slower observed latencies and a later expected completion, so shed and
+reroute react to chaos scenarios with no extra wiring —
+:mod:`repro.serving.sweep` measures exactly this, reporting SLO
+attainment per scenario across seeded grids.
 """
 
 from __future__ import annotations

@@ -366,6 +366,204 @@ class TraceSource(EventSource):
         )
 
 
+#: Traffic-shape verbs understood by :func:`parse_shape` and the CLI.
+TRAFFIC_SHAPES = ("diurnal", "flash")
+
+
+@dataclass(frozen=True)
+class Diurnal:
+    """A smooth load cycle: intensity ``1 + amplitude *
+    sin(2*pi*t/period + phase)`` — the day/night swing every production
+    trace rides on.  ``amplitude`` must stay below 1 so the intensity
+    never reaches zero (a zero-intensity stretch would make the
+    time-warp non-invertible)."""
+
+    amplitude: float
+    period_s: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.amplitude < 1:
+            raise ServingError(
+                f"diurnal amplitude must be in [0, 1), "
+                f"got {self.amplitude}"
+            )
+        if self.period_s <= 0 or not math.isfinite(self.period_s):
+            raise ServingError(
+                f"diurnal period must be positive and finite, "
+                f"got {self.period_s}"
+            )
+
+    def intensity(self, t: np.ndarray) -> np.ndarray:
+        return 1.0 + self.amplitude * np.sin(
+            2.0 * np.pi * t / self.period_s + self.phase
+        )
+
+    def describe(self) -> str:
+        return (
+            f"diurnal x{1 + self.amplitude:g} over "
+            f"{self.period_s * 1e3:.1f} ms"
+        )
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A flash crowd: a Gaussian intensity bump of height ``amplitude``
+    centred at ``at`` with width ``width_s`` (its standard deviation) —
+    the news-event spike that tests how fast control loops react."""
+
+    amplitude: float
+    at: float
+    width_s: float
+
+    def __post_init__(self) -> None:
+        if self.amplitude < 0 or not math.isfinite(self.amplitude):
+            raise ServingError(
+                f"flash-crowd amplitude must be >= 0 and finite, "
+                f"got {self.amplitude}"
+            )
+        if self.width_s <= 0 or not math.isfinite(self.width_s):
+            raise ServingError(
+                f"flash-crowd width must be positive and finite, "
+                f"got {self.width_s}"
+            )
+        if not math.isfinite(self.at):
+            raise ServingError(
+                f"flash-crowd centre must be finite, got {self.at}"
+            )
+
+    def intensity(self, t: np.ndarray) -> np.ndarray:
+        return 1.0 + self.amplitude * np.exp(
+            -0.5 * ((t - self.at) / self.width_s) ** 2
+        )
+
+    def describe(self) -> str:
+        return (
+            f"flash x{1 + self.amplitude:g} @ {self.at * 1e3:.1f} ms "
+            f"(width {self.width_s * 1e3:.1f} ms)"
+        )
+
+
+def parse_shape(spec: str) -> Union[Diurnal, FlashCrowd]:
+    """One ``--shape`` spec::
+
+        diurnal:<amplitude>x<period>[+<phase>]   cycle (seconds, radians)
+        flash:<amplitude>@<centre>~<width>       Gaussian bump (seconds)
+
+    e.g. ``diurnal:0.5x0.2`` (load swings +-50% with a 200 ms period) or
+    ``flash:3@0.05~0.01`` (a 4x spike 50 ms in, 10 ms wide).
+    """
+    verb, sep, tail = spec.partition(":")
+    if not sep:
+        raise ServingError(
+            f"traffic shape {spec!r}: expected "
+            f"<verb>:<args> with verb one of {TRAFFIC_SHAPES}"
+        )
+
+    def number(raw: str, what: str) -> float:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ServingError(
+                f"traffic shape {spec!r}: bad {what} {raw!r}"
+            ) from None
+
+    if verb == "diurnal":
+        amplitude, sep, rest = tail.partition("x")
+        if not sep:
+            raise ServingError(
+                f"traffic shape {spec!r}: expected "
+                "diurnal:<amplitude>x<period>[+<phase>]"
+            )
+        period, sep, phase = rest.partition("+")
+        return Diurnal(
+            amplitude=number(amplitude, "amplitude"),
+            period_s=number(period, "period"),
+            phase=number(phase, "phase") if sep else 0.0,
+        )
+    if verb == "flash":
+        amplitude, sep, rest = tail.partition("@")
+        if not sep:
+            raise ServingError(
+                f"traffic shape {spec!r}: expected "
+                "flash:<amplitude>@<centre>~<width>"
+            )
+        centre, sep, width = rest.partition("~")
+        if not sep:
+            raise ServingError(
+                f"traffic shape {spec!r}: expected "
+                "flash:<amplitude>@<centre>~<width>"
+            )
+        return FlashCrowd(
+            amplitude=number(amplitude, "amplitude"),
+            at=number(centre, "centre"),
+            width_s=number(width, "width"),
+        )
+    raise ServingError(
+        f"traffic shape {spec!r}: unknown verb {verb!r}; "
+        f"expected one of {TRAFFIC_SHAPES}"
+    )
+
+
+def shape_arrivals(
+    arrivals: Sequence[float],
+    shapes: Sequence,
+    samples: int = 4096,
+) -> List[float]:
+    """Warp ``arrivals`` so their local rate follows ``shapes``.
+
+    The composed intensity ``s(t)`` (the product of each shape's
+    ``intensity``) defines a cumulative ``L(t) = integral of s``; each
+    arrival ``a`` maps to the warped instant ``w`` with ``L(w) =
+    a * L(span)/span`` — arrivals bunch where the intensity is high and
+    spread where it is low, while the first/last instants and the
+    arrival *order* are exactly preserved (every intensity is bounded
+    away from zero, so ``L`` is strictly increasing and the inversion
+    is well defined).  ``L`` is computed by trapezoid sums on a
+    ``samples``-point grid and inverted with ``np.interp`` — pure
+    deterministic float math, no randomness.
+    """
+    if not shapes:
+        return [float(value) for value in arrivals]
+    if samples < 2:
+        raise ServingError(f"shape samples must be >= 2, got {samples}")
+    values = np.asarray(list(arrivals), dtype=float)
+    if values.size == 0:
+        raise ServingError("nothing to shape: empty arrival list")
+    if not np.all(np.isfinite(values)):
+        raise ServingError("arrivals must be finite")
+    origin = float(values.min())
+    span = float(values.max()) - origin
+    if span <= 0.0:
+        return [float(value) for value in values]
+    grid = np.linspace(0.0, span, samples)
+    intensity = np.ones_like(grid)
+    for shape in shapes:
+        intensity = intensity * shape.intensity(grid + origin)
+    steps = np.diff(grid) * 0.5 * (intensity[1:] + intensity[:-1])
+    cumulative = np.concatenate(([0.0], np.cumsum(steps)))
+    # Renormalise so the warp fixes both endpoints: L(span) == span.
+    cumulative *= span / cumulative[-1]
+    warped = np.interp(values - origin, cumulative, grid) + origin
+    return [float(value) for value in warped]
+
+
+def shaped_trace(source: "TraceSource", shapes: Sequence) -> "TraceSource":
+    """A :class:`TraceSource` replaying ``source`` with its arrivals
+    warped by ``shapes`` (see :func:`shape_arrivals`); rebasing,
+    scaling and looping have already been applied, so the shapes act on
+    the replayed timeline."""
+    shaped = TraceSource(
+        shape_arrivals(source.arrivals, shapes),
+        name=f"{source.name}+shaped",
+    )
+    # Keep the provenance knobs: the arrivals above are already scaled
+    # and looped, so the new source must not re-apply them.
+    shaped.time_scale = source.time_scale
+    shaped.loop = source.loop
+    return shaped
+
+
 class ClosedLoopClientPool(EventSource):
     """N closed-loop clients with think time — arrivals that depend on
     completions.

@@ -117,18 +117,27 @@ class TestCommands:
             build_parser().parse_args(["serve", "--policy", "fifo"])
 
     def test_serve_seed_reproduces_poisson_runs(self, capsys):
+        def virtual(out):
+            # The "kernel: ... host time ... events/s" line measures
+            # the host, not the modeled system — everything else must
+            # be seed-deterministic.
+            return "\n".join(
+                line for line in out.splitlines()
+                if "host time" not in line
+            )
+
         args = [
             "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
             "--shards", "2", "--traffic", "poisson", "--requests", "12",
             "--qps", "5000",
         ]
         assert main(args + ["--seed", "5"]) == 0
-        first = capsys.readouterr().out
+        first = virtual(capsys.readouterr().out)
         assert main(args + ["--seed", "5"]) == 0
-        second = capsys.readouterr().out
+        second = virtual(capsys.readouterr().out)
         assert first == second
         assert main(args + ["--seed", "6"]) == 0
-        assert capsys.readouterr().out != first
+        assert virtual(capsys.readouterr().out) != first
 
     def test_serve_closed_loop(self, capsys):
         rc = main([
@@ -242,6 +251,67 @@ class TestCommands:
         ])
         assert rc == 1
         assert "pick one" in capsys.readouterr().err
+
+    def test_serve_chaos_scenario_and_shape(self, capsys):
+        rc = main([
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--shards", "2", "--traffic", "poisson", "--qps", "2000",
+            "--requests", "16",
+            "--scenario", "degrade:shard0@0.001..0.01x4",
+            "--shape", "flash:2@0.005~0.002",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scenario: degrade shard0 x4" in out
+        assert "flash" in out
+        assert "served 16 requests" in out
+
+    def test_serve_shape_with_closed_loop_is_error(self, capsys):
+        rc = main([
+            "serve", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--closed-loop", "2", "--requests", "8",
+            "--shape", "diurnal:0.5x0.01",
+        ])
+        assert rc == 1
+        assert "closed-loop" in capsys.readouterr().err
+
+    def test_sweep_round_trip(self, tmp_path, capsys):
+        report = tmp_path / "sweep.json"
+        rc = main([
+            "sweep", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--scenarios", "none;kill:shard0@0.002,restore@0.01",
+            "--policies", "round-robin", "--pools", "2",
+            "--requests", "8", "--seed", "3",
+            "--report-json", str(report),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 cells" in out
+        assert "SLO attainment" in out
+        import json
+
+        payload = json.loads(report.read_text())
+        assert payload["cell_count"] == 2
+        assert len(payload["cells"]) == 2
+        for cell in payload["cells"]:
+            assert (
+                cell["served"] + cell["shed"] + cell["unserved"]
+                == cell["issued"]
+            )
+
+    def test_sweep_bad_grid_is_error(self, capsys):
+        rc = main([
+            "sweep", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--scenarios", "kill:shard5@0.01", "--pools", "2",
+        ])
+        assert rc == 1
+        assert "smallest pool" in capsys.readouterr().err
+        rc = main([
+            "sweep", "--model", "tiny_cnn", "--device", "pynq-z1",
+            "--pools", "two",
+        ])
+        assert rc == 1
+        assert "shard counts" in capsys.readouterr().err
 
     def test_experiments_seed_flag_parses(self):
         args = build_parser().parse_args(
