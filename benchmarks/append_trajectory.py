@@ -25,8 +25,9 @@ from pathlib import Path
 #: The per-run numbers worth tracking across PRs.  Serve smokes and
 #: sweep reports share the tracked keys (``count``/``shed``/
 #: ``unserved``/``p99_latency_s``); ``slo_attainment`` and
-#: ``cell_count`` only appear in sweep reports and stay ``None`` for
-#: plain ServingReport smokes.
+#: ``cell_count`` only appear in sweep reports, ``plans_per_second``
+#: and ``billed_shard_seconds`` only in ProvisioningPlan reports, and
+#: each stays ``None`` for the other report kinds.
 SUMMARY_FIELDS = (
     "count",
     "throughput_gops",
@@ -40,6 +41,8 @@ SUMMARY_FIELDS = (
     "events_per_second",
     "slo_attainment",
     "cell_count",
+    "plans_per_second",
+    "billed_shard_seconds",
 )
 
 
@@ -73,6 +76,12 @@ def main(argv=None) -> int:
         "runs", nargs="+", metavar="LABEL=REPORT.json",
         help="labelled ServingReport JSON files to fold in",
     )
+    parser.add_argument(
+        "--require", action="append", default=[], metavar="FIELD",
+        help="fail unless at least one folded run carries this summary "
+             "field (guards CI against silently losing a tracked "
+             "figure; repeatable)",
+    )
     args = parser.parse_args(argv)
 
     runs = {}
@@ -84,6 +93,16 @@ def main(argv=None) -> int:
             return 2
         runs[label] = summarise(Path(path))
 
+    for field in args.require:
+        if field not in SUMMARY_FIELDS:
+            print(f"error: --require {field!r} is not a tracked "
+                  f"summary field {SUMMARY_FIELDS}", file=sys.stderr)
+            return 2
+        if all(run.get(field) is None for run in runs.values()):
+            print(f"error: no folded run carries {field!r} "
+                  f"(runs: {sorted(runs)})", file=sys.stderr)
+            return 1
+
     line = {
         "commit": commit_id(),
         "date": datetime.datetime.now(datetime.timezone.utc).strftime(
@@ -92,6 +111,10 @@ def main(argv=None) -> int:
         "runs": runs,
     }
     trajectory = Path(args.file)
+    # Create-and-fold: a fresh checkout (or a wiped workspace) gets
+    # the file and its directory on first use, so the bench-smoke job
+    # can assert the trajectory is non-empty afterwards.
+    trajectory.parent.mkdir(parents=True, exist_ok=True)
     with trajectory.open("a") as handle:
         handle.write(json.dumps(line, sort_keys=True) + "\n")
     entries = sum(

@@ -1,0 +1,241 @@
+"""Benchmark: the two-tier capacity planner's speed and its oracles.
+
+Checked claims:
+
+* **Tier A is effectively free** — the vectorized analytic scorer
+  handles a 2,400-plan grid in well under a second (the bench floor
+  CI tracks is ``plans_per_second``), so the planner's wall clock is
+  Tier B replay of a handful of finalists, not the grid size;
+* **pruning is admissible and the surrogate ranks well** — on a
+  seeded reference grid, *every* plan is replayed through the event
+  kernel: no pruned plan ever meets the SLO in replay (the bounds are
+  proofs, not heuristics), and the replay-optimal plan sits inside
+  the surrogate's top-K finalists — two-tier search returns the same
+  winner exhaustive replay would;
+* **the planner earns its keep** — the ``experiments plan`` study's
+  mixed vu9p+pynq-z1 winner meets the SLO at strictly lower billed
+  shard-seconds than the best homogeneous pool, and the
+  ``plans_per_second`` figure folds into the ``BENCH_serving.json``
+  trajectory via ``append_trajectory.py``.
+"""
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+import append_trajectory  # noqa: E402
+
+from repro.experiments import planning_study  # noqa: E402
+from repro.pipeline.session import _load_network  # noqa: E402
+from repro.planning import (  # noqa: E402
+    AnalyticPlanScorer,
+    ArrivalProfile,
+    PlanGrid,
+    ReplayJob,
+    parse_devices,
+    resolve_kinds,
+)
+from repro.planning.replay import _ReplayState  # noqa: E402
+from repro.serving.traffic import make_requests  # noqa: E402
+
+SEED = 2020
+#: Tier A floor: a fresh grid this size must score in under a second
+#: (it actually takes milliseconds; the slack absorbs CI runners).
+BIG_GRID_DEVICES = "vu9p:0..24+pynq-z1:0..23"
+BIG_GRID_BATCHES = (1, 6, 12, 24)
+TIER_A_BUDGET_S = 1.0
+PLANS_PER_SECOND_FLOOR = 10_000.0
+
+#: Seeded reference grid small enough to replay *exhaustively*.
+REF_DEVICES = "vu9p:0..2+pynq-z1:0..4"
+REF_BATCHES = (1, 6)
+REF_REQUESTS = 512
+REF_RATE = 1_050_000.0
+REF_SLO_S = 60e-6
+REF_TOP_K = 6
+
+
+def reference_kinds():
+    network = _load_network(planning_study.MODEL)
+    return resolve_kinds(
+        network, parse_devices(REF_DEVICES), seed=SEED
+    )
+
+
+def test_tier_a_scores_big_grid_under_a_second(benchmark, once, capsys):
+    kinds = reference_kinds()
+    grid = PlanGrid(parse_devices(BIG_GRID_DEVICES), BIG_GRID_BATCHES)
+    assert len(grid) >= 2000, grid.describe()
+    scorer = AnalyticPlanScorer(
+        service_seconds=[kind.probe_seconds() for kind in kinds],
+        instances=[kind.instances for kind in kinds],
+        weights=[kind.weight for kind in kinds],
+    )
+    profile = ArrivalProfile.from_requests(
+        make_requests("poisson", 256, qps=REF_RATE, seed=SEED)
+    )
+    start = time.perf_counter()
+    scores = once(
+        benchmark, scorer.score, grid.counts, grid.batches, profile,
+        200e-6, 50e-6,
+    )
+    elapsed = time.perf_counter() - start
+    plans_per_second = len(grid) / max(elapsed, 1e-9)
+
+    assert elapsed < TIER_A_BUDGET_S, (
+        f"tier A took {elapsed:.3f} s for {len(grid)} plans"
+    )
+    assert plans_per_second >= PLANS_PER_SECOND_FLOOR
+    assert len(scores) == len(grid)
+    kept = scores.pruned == 0
+    assert kept.any() and (~kept).any(), (
+        "the big grid should exercise both branches"
+    )
+    assert np.all(np.isfinite(scores.p99_s[scores.feasible]))
+
+    with capsys.disabled():
+        print()
+        print(f"  tier A: {len(grid)} plans in {elapsed * 1e3:.1f} ms "
+              f"({plans_per_second:,.0f} plans/s); "
+              f"{int(kept.sum())} kept, {int((~kept).sum())} pruned")
+
+
+def test_pruning_admissible_and_top_k_contains_replay_optimal(
+    benchmark, once, capsys
+):
+    kinds = reference_kinds()
+    grid = PlanGrid(parse_devices(REF_DEVICES), REF_BATCHES)
+    scorer = AnalyticPlanScorer(
+        service_seconds=[kind.probe_seconds() for kind in kinds],
+        instances=[kind.instances for kind in kinds],
+        weights=[kind.weight for kind in kinds],
+    )
+    requests = make_requests(
+        "poisson", REF_REQUESTS, qps=REF_RATE, seed=SEED
+    )
+    profile = ArrivalProfile.from_requests(requests)
+    max_wait_s = 2.0 * max(kind.probe_seconds() for kind in kinds)
+    scores = scorer.score(
+        grid.counts, grid.batches, profile, REF_SLO_S,
+        max_wait_s=max_wait_s,
+    )
+
+    state = _ReplayState(
+        kinds,
+        tuple(request.arrival for request in requests),
+        "shortest-latency",
+        max_wait_s,
+        None,
+        REF_SLO_S,
+    )
+
+    def replay_everything():
+        return [
+            state.run(ReplayJob(index, *grid.plan(index)))
+            for index in range(len(grid))
+        ]
+
+    replays = once(benchmark, replay_everything)
+
+    # Admissibility: a pruned plan NEVER meets the SLO in replay.
+    pruned_ok = [
+        row["plan"] for row in replays
+        if scores.pruned[row["plan"]] != 0 and row["slo_ok"]
+    ]
+    assert not pruned_ok, (
+        f"pruned plans met the SLO in replay: {pruned_ok}"
+    )
+
+    # The replay-optimal plan (exhaustive oracle) must be inside the
+    # surrogate's top-K — the two-tier search finds the true winner.
+    oracle = min(
+        replays,
+        key=lambda row: (
+            0 if row["slo_ok"] else 1,
+            row["billed_shard_seconds"],
+            row["p99_latency_s"]
+            if row["p99_latency_s"] is not None else float("inf"),
+            row["plan"],
+        ),
+    )
+    assert oracle["slo_ok"], "the reference grid must be satisfiable"
+    kept = [i for i in range(len(grid)) if scores.pruned[i] == 0]
+    kept.sort(
+        key=lambda i: (
+            0 if scores.feasible[i] else 1,
+            float(scores.billed_shard_seconds[i]),
+            float(scores.p99_s[i]),
+            i,
+        )
+    )
+    top_k = kept[:REF_TOP_K]
+    assert oracle["plan"] in top_k, (
+        f"replay-optimal plan {grid.plan(oracle['plan'])} missing from "
+        f"surrogate top-{REF_TOP_K} {[grid.plan(i) for i in top_k]}"
+    )
+
+    with capsys.disabled():
+        pruned_count = int((scores.pruned != 0).sum())
+        print()
+        print(f"  exhaustive oracle: {len(grid)} plans replayed; "
+              f"{pruned_count} pruned (none replay-feasible); "
+              f"optimal plan {grid.plan(oracle['plan'])} is surrogate "
+              f"rank {top_k.index(oracle['plan']) + 1}")
+
+
+def test_mixed_fleet_beats_homogeneous_and_folds_trajectory(
+    benchmark, once, capsys, tmp_path
+):
+    plans = once(benchmark, planning_study.run_study, seed=SEED)
+    mixed = plans["mixed"]
+    assert mixed is not None and mixed.slo_met
+
+    homogeneous = [
+        plan for name, plan in plans.items()
+        if name != "mixed" and plan is not None and plan.slo_met
+    ]
+    assert homogeneous, "at least one homogeneous fleet must be feasible"
+    best = min(
+        plan.winner["replay"]["billed_shard_seconds"]
+        for plan in homogeneous
+    )
+    ours = mixed.winner["replay"]["billed_shard_seconds"]
+    assert ours < best, (
+        f"mixed fleet bills {ours} shard-seconds vs {best} homogeneous"
+    )
+    assert (
+        mixed.winner["replay"]["p99_latency_s"]
+        <= planning_study.SLO_P99_S
+    )
+    # The pynq-only fleet is provably infeasible at this rate.
+    assert plans["pynq-z1 only"] is None
+
+    # plans_per_second folds into the trajectory via append_trajectory.
+    report_path = tmp_path / "plan_report.json"
+    report_path.write_text(mixed.to_json(indent=2) + "\n")
+    trajectory = tmp_path / "BENCH_serving.json"
+    code = append_trajectory.main([
+        "--file", str(trajectory),
+        f"plan-study={report_path}",
+        "--require", "plans_per_second",
+    ])
+    assert code == 0
+    lines = [
+        json.loads(text)
+        for text in trajectory.read_text().splitlines() if text.strip()
+    ]
+    assert len(lines) == 1
+    folded = lines[0]["runs"]["plan-study"]
+    assert folded["plans_per_second"] > 0
+    assert folded["billed_shard_seconds"] == ours
+
+    with capsys.disabled():
+        print()
+        print(f"  mixed {mixed.winner['counts']} bills {ours * 1e3:.2f} "
+              f"shard-ms vs {best * 1e3:.2f} best homogeneous "
+              f"({(1 - ours / best) * 100:.0f}% cheaper); "
+              f"{mixed.plans_per_second:,.0f} plans/s in tier A")

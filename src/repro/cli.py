@@ -451,6 +451,9 @@ def _cmd_sweep(args) -> int:
         ),
         slo_action=args.slo_action,
         shapes=tuple(args.shape or ()),
+        trace=args.trace,
+        trace_scale=args.trace_scale,
+        trace_loop=args.trace_loop,
         event_budget=args.event_budget,
     )
     session = _serve_session(args)
@@ -463,6 +466,42 @@ def _cmd_sweep(args) -> int:
         out = Path(args.report_json)
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(report.to_json() + "\n")
+        print(f"report written to {out}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.planning import PlanOptions, plan_capacity
+
+    options = PlanOptions(
+        slo_p99_s=args.slo_p99 * 1e-3,
+        rate=args.rate,
+        requests=args.requests,
+        traffic=args.traffic,
+        burst=args.burst,
+        trace=args.trace,
+        trace_scale=args.trace_scale,
+        trace_loop=args.trace_loop,
+        top_k=args.top_k,
+        executor=args.executor,
+        jobs=args.jobs,
+        policy=args.policy,
+        max_wait_s=(
+            args.max_wait_ms * 1e-3
+            if args.max_wait_ms is not None else None
+        ),
+        batch_options=tuple(args.batch) if args.batch else None,
+        seed=args.seed,
+        event_budget=args.event_budget,
+    )
+    plan = plan_capacity(
+        args.model, args.devices, options, store=args.cache_dir
+    )
+    print(plan.describe())
+    if args.report_json is not None:
+        out = Path(args.report_json)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(plan.to_json(indent=2) + "\n")
         print(f"report written to {out}")
     return 0
 
@@ -565,6 +604,7 @@ def _cmd_experiments(args) -> int:
         estimation_error,
         instruction_stats,
         overhead,
+        planning_study,
         roofline_study,
         scalability,
         scenario_study,
@@ -590,6 +630,7 @@ def _cmd_experiments(args) -> int:
         "scenarios": lambda: scenario_study.main(seed=args.seed),
         "autoscale": lambda: autoscale_study.main(seed=args.seed),
         "chaos": lambda: chaos_study.main(seed=args.seed),
+        "plan": lambda: planning_study.main(seed=args.seed),
     }
     if args.name not in registry:
         print(f"unknown experiment {args.name!r}; "
@@ -803,7 +844,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shape", action="append", default=None,
                    metavar="SPEC",
                    help="warp every cell's arrivals by a traffic "
-                        "shape; repeatable")
+                        "shape (composes onto --trace replays too); "
+                        "repeatable")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="replay a recorded arrival trace in every "
+                        "cell instead of synthetic traffic (ignores "
+                        "--requests/--traffic/--load-factor/--burst)")
+    p.add_argument("--trace-scale", type=float, default=1.0,
+                   dest="trace_scale", metavar="FACTOR",
+                   help="multiply trace inter-arrival times "
+                        "(0.5 = replay twice as fast)")
+    p.add_argument("--trace-loop", type=int, default=1,
+                   dest="trace_loop", metavar="N",
+                   help="repeat the trace N times back to back")
     p.add_argument("--executor", default="serial",
                    choices=SWEEP_EXECUTORS,
                    help="cell execution backend for --jobs > 1; both "
@@ -820,6 +873,78 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dse", action="store_true",
                    help="run the DSE instead of the paper configuration")
     p.set_defaults(func=_cmd_sweep)
+
+    from repro.planning import PLAN_EXECUTORS
+
+    p = sub.add_parser(
+        "plan",
+        help="two-tier fleet capacity planning: vectorized analytic "
+             "scoring of the whole plan grid, event-kernel replay of "
+             "the finalists",
+    )
+    p.add_argument("--model", default="vgg16",
+                   help="zoo model name or model JSON path")
+    p.add_argument("--devices", default="vu9p:0..4+pynq-z1:0..8",
+                   help="fleet spec: '+'-separated "
+                        "<device>:<min..max>[@weight] kinds "
+                        "(weight defaults to the config's instance "
+                        "count)")
+    p.add_argument("--slo-p99", type=float, required=True,
+                   metavar="MS", dest="slo_p99",
+                   help="the SLO every plan must meet: target p99 "
+                        "latency in ms")
+    p.add_argument("--rate", type=float, default=None,
+                   help="synthetic arrival rate in req/s (exactly one "
+                        "of --rate / --trace)")
+    p.add_argument("--requests", type=int, default=96,
+                   help="synthetic requests to plan against")
+    p.add_argument("--traffic", default="poisson",
+                   choices=TRAFFIC_MODELS)
+    p.add_argument("--burst", type=int, default=8,
+                   help="burst size for --traffic burst")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="plan against a replayed CSV/JSONL arrival "
+                        "trace instead of synthetic traffic")
+    p.add_argument("--trace-scale", type=float, default=1.0,
+                   metavar="FACTOR", dest="trace_scale",
+                   help="multiply trace inter-arrivals by this")
+    p.add_argument("--trace-loop", type=int, default=1, metavar="N",
+                   dest="trace_loop",
+                   help="repeat the trace N times back to back")
+    p.add_argument("--top-k", type=int, default=5, dest="top_k",
+                   help="surrogate survivors to verify by replay")
+    p.add_argument("--policy", default="shortest-latency",
+                   choices=POLICIES,
+                   help="scheduling policy the replays (and the "
+                        "recommended deployment) use")
+    p.add_argument("--batch", action="append", type=int, default=None,
+                   metavar="N",
+                   help="candidate pool-wide max_batch (repeatable; "
+                        "default: 1, each kind's instance count, and "
+                        "2x the largest)")
+    p.add_argument("--max-wait-ms", type=float, default=None,
+                   metavar="MS", dest="max_wait_ms",
+                   help="dynamic batcher: max wait of the oldest "
+                        "queued request (default: two service rounds "
+                        "of the slowest kind)")
+    p.add_argument("--executor", default="serial",
+                   choices=PLAN_EXECUTORS,
+                   help="Tier B replay backend for --jobs > 1; both "
+                        "produce byte-identical reports")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="parallel replay worker processes")
+    p.add_argument("--event-budget", type=int, default=None,
+                   metavar="N", dest="event_budget",
+                   help="per-replay kernel runaway-loop budget")
+    p.add_argument("--seed", type=int, default=2020)
+    p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                   help="persist layer estimates here across "
+                        "invocations (warm start + flush on exit)")
+    p.add_argument("--report-json", default=None, metavar="PATH",
+                   dest="report_json",
+                   help="write the ProvisioningPlan as JSON "
+                        "(the CI artifact format)")
+    p.set_defaults(func=_cmd_plan)
 
     p = sub.add_parser("cache",
                        help="inspect / compact an estimate cache dir")

@@ -241,13 +241,16 @@ _worker_state: dict = {}
 def _process_worker_init(payload) -> None:
     """Install the evaluation payload in this pool worker.
 
-    ``payload`` is ``(device, network, cal, candidates, seed_entries)``
-    where ``seed_entries`` is a parent-cache snapshot (or ``None`` when
-    the run is uncached).  The worker cache is warmed from the snapshot,
-    so a store-backed parent hands its persisted entries to every
-    worker for free.
+    ``payload`` is ``(device, network, cal, candidates, seed_entries,
+    estimator)`` where ``seed_entries`` is a parent-cache snapshot (or
+    ``None`` when the run is uncached).  The worker cache is warmed
+    from the snapshot, so a store-backed parent hands its persisted
+    entries to every worker for free.  ``estimator`` selects how this
+    worker evaluates its batches — the scalar per-layer model or one
+    :class:`BatchLayerEstimator` built lazily on the first batch and
+    reused for the worker's lifetime.
     """
-    device, network, cal, candidates, seed_entries = payload
+    device, network, cal, candidates, seed_entries, estimator = payload
     cache = None
     if seed_entries is not None:
         cache = EvaluationCache()
@@ -258,6 +261,8 @@ def _process_worker_init(payload) -> None:
         cal=cal,
         candidates=candidates,
         cache=cache,
+        estimator=estimator,
+        batch_estimator=None,
     )
 
 
@@ -268,6 +273,9 @@ def _process_evaluate_batch(indices):
     ``(index, mapping, estimate)`` triples plus the worker cache's dirty
     delta and counter delta for this batch (``None`` when uncached).
     Everything crossing the process boundary is pickleable by value.
+    The vectorized estimator's offers land in the worker cache and ride
+    the same dirty delta home, so a store-backed parent persists a
+    process-vectorized run's results exactly like a serial one's.
     """
     device = _worker_state["device"]
     network = _worker_state["network"]
@@ -276,14 +284,29 @@ def _process_evaluate_batch(indices):
     cache = _worker_state["cache"]
     before = cache.stats if cache is not None else None
     items = []
-    for index in indices:
-        try:
-            mapping, estimate = map_network(
-                candidates[index].cfg, device, network, cal, cache=cache
+    if _worker_state["estimator"] == "vectorized":
+        batch_estimator = _worker_state["batch_estimator"]
+        if batch_estimator is None:
+            batch_estimator = BatchLayerEstimator(
+                device, network, cal=cal, cache=cache
             )
-        except DseError:
-            continue
-        items.append((index, mapping, estimate))
+            _worker_state["batch_estimator"] = batch_estimator
+        batch = batch_estimator.map_candidates(
+            [candidates[index].cfg for index in indices]
+        )
+        for index, result in zip(indices, batch):
+            if result is not None:
+                items.append((index, result[0], result[1]))
+    else:
+        for index in indices:
+            try:
+                mapping, estimate = map_network(
+                    candidates[index].cfg, device, network, cal,
+                    cache=cache,
+                )
+            except DseError:
+                continue
+            items.append((index, mapping, estimate))
     if cache is None:
         return items, None, None, None
     estimates, partitions = cache.take_dirty()
@@ -368,48 +391,23 @@ def run_dse(
         elif objective < -worst_of_top_k[0]:
             heapq.heapreplace(worst_of_top_k, -objective)
 
-    if options.estimator == "vectorized":
-        # Candidate-batch evaluation: bounds/best-first still prune
-        # first, and only the survivors of each batch reach the numpy
-        # column math.  Pruning is checked per batch (exactly like the
-        # thread/process paths check it per submission batch), so the
-        # pruned *count* can differ from the serial scalar path while
-        # the selection — final sort included — stays byte-identical.
-        # Only a *caller-supplied* cache is threaded through: the batch
-        # estimator memoizes its own partitions and never re-reads
-        # estimates, so offers into the ephemeral internal cache would
-        # be pure key-hashing cost with no possible reader — a shared
-        # cache, by contrast, outlives the run (store flushes, later
-        # scalar lookups) and gets the selected rows offered into it.
-        batch_estimator = BatchLayerEstimator(
-            device, network, cal=cal, cache=shared_cache
-        )
-        step = 64 if options.prune else max(len(order), 1)
-        for start in range(0, len(order), step):
-            survivors = []
-            for index in order[start:start + step]:
-                if prunable(index):
-                    pruned += 1
-                    continue
-                survivors.append(index)
-            if not survivors:
-                continue
-            batch = batch_estimator.map_candidates(
-                [candidates[index].cfg for index in survivors]
+    if options.jobs > 1 and options.executor == "process":
+        # Candidate batches ship to worker processes; each worker runs
+        # the configured estimator (the vectorized one amortises its
+        # per-worker construction over bigger batches).  Merging in
+        # submission order keeps the selection — and a store-backed
+        # cache's first-writer entries — byte-identical to serial.
+        if options.estimator == "vectorized":
+            batch = (
+                max(64 * options.jobs, 1)
+                if options.prune else max(len(order), 1)
             )
-            for index, result in zip(survivors, batch):
-                if result is None:
-                    continue
-                mapping, estimate = result
-                admit((
-                    _objective(estimate, options.objective),
-                    index, candidates[index], mapping, estimate,
-                ))
-    elif options.jobs > 1 and options.executor == "process":
-        batch = max(2 * options.jobs, 1)
+        else:
+            batch = max(2 * options.jobs, 1)
         payload = (
             device, network, cal, candidates,
             cache.snapshot_entries() if cache is not None else None,
+            options.estimator,
         )
         with ProcessPoolExecutor(
             max_workers=options.jobs,
@@ -443,6 +441,44 @@ def run_dse(
                             _objective(estimate, options.objective),
                             index, candidates[index], mapping, estimate,
                         ))
+    elif options.estimator == "vectorized":
+        # In-process candidate-batch evaluation: bounds/best-first
+        # still prune first, and only the survivors of each batch reach
+        # the numpy column math.  Pruning is checked per batch (exactly
+        # like the thread/process paths check it per submission batch),
+        # so the pruned *count* can differ from the serial scalar path
+        # while the selection — final sort included — stays
+        # byte-identical.
+        # Only a *caller-supplied* cache is threaded through: the batch
+        # estimator memoizes its own partitions and never re-reads
+        # estimates, so offers into the ephemeral internal cache would
+        # be pure key-hashing cost with no possible reader — a shared
+        # cache, by contrast, outlives the run (store flushes, later
+        # scalar lookups) and gets the selected rows offered into it.
+        batch_estimator = BatchLayerEstimator(
+            device, network, cal=cal, cache=shared_cache
+        )
+        step = 64 if options.prune else max(len(order), 1)
+        for start in range(0, len(order), step):
+            survivors = []
+            for index in order[start:start + step]:
+                if prunable(index):
+                    pruned += 1
+                    continue
+                survivors.append(index)
+            if not survivors:
+                continue
+            batch = batch_estimator.map_candidates(
+                [candidates[index].cfg for index in survivors]
+            )
+            for index, result in zip(survivors, batch):
+                if result is None:
+                    continue
+                mapping, estimate = result
+                admit((
+                    _objective(estimate, options.objective),
+                    index, candidates[index], mapping, estimate,
+                ))
     elif options.jobs > 1:
         batch = max(2 * options.jobs, 1)
         with ThreadPoolExecutor(max_workers=options.jobs) as pool:

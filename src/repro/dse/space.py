@@ -67,9 +67,11 @@ class DseOptions:
     #: "scalar" | "vectorized" — how Step 2/3 evaluates candidates.
     #: "vectorized" batches surviving candidates through
     #: :class:`repro.estimator.vectorized.BatchLayerEstimator` (numpy
-    #: column math, byte-identical selection); it evaluates batches
-    #: in-process, so it composes with pruning/best-first/caching but
-    #: not with ``jobs > 1``.
+    #: column math, byte-identical selection).  With ``jobs > 1`` it
+    #: requires the process executor: candidate batches ship to worker
+    #: processes that each run the numpy path ("serial" auto-upgrades
+    #: to "process"; "thread" is rejected — the batch math holds the
+    #: GIL, so threads serialise it).
     estimator: str = "scalar"
 
     def __post_init__(self) -> None:
@@ -78,18 +80,24 @@ class DseOptions:
                 f"unknown estimator {self.estimator!r}; "
                 f"expected one of {ESTIMATORS}"
             )
-        if self.estimator == "vectorized" and self.jobs > 1:
-            raise DseError(
-                "estimator='vectorized' evaluates candidate batches "
-                "in-process; it does not compose with jobs > 1"
-            )
         if self.executor not in EXECUTORS:
             raise DseError(
                 f"unknown executor {self.executor!r}; "
                 f"expected one of {EXECUTORS}"
             )
+        if self.estimator == "vectorized" and self.jobs > 1 and (
+            self.executor == "thread"
+        ):
+            raise DseError(
+                "estimator='vectorized' with jobs > 1 requires "
+                "executor='process': the numpy batch math holds the "
+                "GIL, so a thread pool would serialise it"
+            )
         if self.jobs > 1 and self.executor == "serial":
-            object.__setattr__(self, "executor", "thread")
+            upgraded = (
+                "process" if self.estimator == "vectorized" else "thread"
+            )
+            object.__setattr__(self, "executor", upgraded)
         if self.objective not in OBJECTIVES:
             raise DseError(
                 f"unknown objective {self.objective!r}; "

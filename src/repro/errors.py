@@ -51,3 +51,8 @@ class RuntimeHostError(ReproError):
 
 class ServingError(ReproError):
     """The serving layer was misconfigured (bad policy, empty pool, ...)."""
+
+
+class PlanningError(ReproError):
+    """The capacity planner was misconfigured (bad device spec, empty
+    plan grid, unsatisfiable workload, ...)."""

@@ -33,10 +33,13 @@ from repro.experiments.autoscale_study import (
     run_burst_study,
     run_trace_study,
 )
+from repro.experiments.planning_study import run_fleet, run_study
 
 __all__ = [
     "common",
     "run_burst_study",
+    "run_fleet",
+    "run_study",
     "run_chaos_sweep",
     "run_flash_outage_study",
     "run_straggler_study",

@@ -1,0 +1,48 @@
+"""Fleet capacity planning: vectorized analytic scoring (Tier A) with
+event-kernel replay verification of the finalists (Tier B).
+
+See ``docs/planning.md`` for the surrogate math and the admissibility
+argument behind the pruning bounds.
+"""
+
+from repro.planning.grid import (
+    KindSpec,
+    MAX_PLANS,
+    PlanGrid,
+    parse_devices,
+)
+from repro.planning.planner import (
+    DeviceKind,
+    PlanOptions,
+    ProvisioningPlan,
+    plan_capacity,
+    resolve_kinds,
+)
+from repro.planning.replay import PLAN_EXECUTORS, ReplayJob, replay_finalists
+from repro.planning.scorer import (
+    AnalyticPlanScorer,
+    ArrivalProfile,
+    PRUNE_REASONS,
+    PlanScores,
+    TAIL_QUANTILE,
+)
+
+__all__ = [
+    "AnalyticPlanScorer",
+    "ArrivalProfile",
+    "DeviceKind",
+    "KindSpec",
+    "MAX_PLANS",
+    "PLAN_EXECUTORS",
+    "PRUNE_REASONS",
+    "PlanGrid",
+    "PlanOptions",
+    "PlanScores",
+    "ProvisioningPlan",
+    "ReplayJob",
+    "TAIL_QUANTILE",
+    "parse_devices",
+    "plan_capacity",
+    "replay_finalists",
+    "resolve_kinds",
+]

@@ -1,0 +1,205 @@
+"""Plan enumeration: device-kind specs and the plan grid.
+
+A ``--devices`` spec names the fleet's building blocks::
+
+    vu9p:0..4+pynq-z1:0..8          two kinds, shard count ranges
+    vu9p:2                          a fixed count (2..2)
+    vu9p:0..4@6+pynq-z1:0..8@1      explicit billing weights
+
+Device names resolve against the FPGA catalog; an unambiguous prefix
+(``pynq`` for ``pynq-z1``) is accepted.  The optional ``@weight``
+overrides the billing weight (default: the resolved config's instance
+count, so shard-seconds bill as instance-seconds).
+
+:class:`PlanGrid` is the cross product of every kind's count range and
+the pool-wide ``max_batch`` choices, minus the empty plan — exactly
+the ``(cfg, per-shard max_batch, shard mix)`` space ROADMAP item 1
+asks the planner to search.  The grid materialises as numpy arrays so
+Tier A scores all plans in one vectorized call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PlanningError
+from repro.fpga import DEVICES
+
+#: Keep accidental mega-grids out of Tier A: the scorer is fast, but a
+#: spec like ``vu9p:0..999+...`` is almost certainly a typo.
+MAX_PLANS = 1_000_000
+
+
+@dataclass(frozen=True)
+class KindSpec:
+    """One device kind of the fleet: a catalog name, a shard count
+    range, and an optional billing-weight override."""
+
+    device: str
+    min_shards: int
+    max_shards: int
+    weight: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 0:
+            raise PlanningError(
+                f"{self.device}: min shards must be >= 0, "
+                f"got {self.min_shards}"
+            )
+        if self.max_shards < max(self.min_shards, 1):
+            raise PlanningError(
+                f"{self.device}: max shards must be >= "
+                f"max(min, 1), got {self.min_shards}..{self.max_shards}"
+            )
+        if self.weight is not None and self.weight <= 0:
+            raise PlanningError(
+                f"{self.device}: billing weight must be positive, "
+                f"got {self.weight}"
+            )
+
+    def counts(self) -> List[int]:
+        return list(range(self.min_shards, self.max_shards + 1))
+
+
+def _resolve_device_name(name: str) -> str:
+    if name in DEVICES:
+        return name
+    matches = sorted(d for d in DEVICES if d.startswith(name))
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        raise PlanningError(
+            f"device {name!r} is ambiguous: {matches}"
+        )
+    raise PlanningError(
+        f"unknown device {name!r}; expected one of {sorted(DEVICES)}"
+    )
+
+
+def parse_devices(spec: str) -> Tuple[KindSpec, ...]:
+    """Parse a ``--devices`` fleet spec (grammar in the module doc)."""
+    kinds: List[KindSpec] = []
+    for part in spec.split("+"):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, tail = part.partition(":")
+        if not sep or not name:
+            raise PlanningError(
+                f"device spec {part!r}: expected "
+                "<device>:<min..max>[@weight]"
+            )
+        counts, _, weight_text = tail.partition("@")
+        lo_text, sep, hi_text = counts.partition("..")
+        try:
+            lo = int(lo_text)
+            hi = int(hi_text) if sep else lo
+        except ValueError:
+            raise PlanningError(
+                f"device spec {part!r}: bad shard count range "
+                f"{counts!r}"
+            ) from None
+        weight = None
+        if weight_text:
+            try:
+                weight = float(weight_text)
+            except ValueError:
+                raise PlanningError(
+                    f"device spec {part!r}: bad billing weight "
+                    f"{weight_text!r}"
+                ) from None
+        kinds.append(
+            KindSpec(
+                device=_resolve_device_name(name.strip()),
+                min_shards=lo,
+                max_shards=hi,
+                weight=weight,
+            )
+        )
+    if not kinds:
+        raise PlanningError(f"device spec {spec!r} names no kinds")
+    names = [kind.device for kind in kinds]
+    if len(set(names)) != len(names):
+        raise PlanningError(
+            f"device spec {spec!r} repeats a kind: {names}"
+        )
+    return tuple(kinds)
+
+
+class PlanGrid:
+    """The enumerated plan space, materialised as numpy columns.
+
+    ``counts[p, k]`` is plan *p*'s shard count of kind *k*;
+    ``batches[p]`` its pool-wide batcher budget.  The all-zero mix is
+    excluded (a fleet of nothing serves nothing), so every row is a
+    deployable plan.  Enumeration order is deterministic: shard mixes
+    odometer-style (first kind slowest), batch options innermost —
+    ties everywhere downstream break on this index, which is what
+    makes serial and process Tier B runs byte-identical.
+    """
+
+    def __init__(
+        self,
+        kinds: Sequence[KindSpec],
+        batch_options: Sequence[int],
+    ):
+        if not kinds:
+            raise PlanningError("a plan grid needs >= 1 device kind")
+        batches = sorted(set(int(b) for b in batch_options))
+        if not batches:
+            raise PlanningError("a plan grid needs >= 1 batch option")
+        if batches[0] < 1:
+            raise PlanningError(
+                f"batch options must be >= 1, got {batches[0]}"
+            )
+        self.kinds = tuple(kinds)
+        self.batch_options = tuple(batches)
+        per_kind = [kind.counts() for kind in kinds]
+        mixes = 1
+        for counts in per_kind:
+            mixes *= len(counts)
+        total = mixes * len(batches)
+        if total > MAX_PLANS:
+            raise PlanningError(
+                f"plan grid would hold {total} plans "
+                f"(> {MAX_PLANS}); narrow the device spec"
+            )
+        columns = np.meshgrid(*per_kind, indexing="ij")
+        mix_rows = np.stack(
+            [column.reshape(-1) for column in columns], axis=1
+        )
+        mix_rows = mix_rows[mix_rows.sum(axis=1) > 0]
+        if mix_rows.size == 0:
+            raise PlanningError(
+                "the plan grid holds only the empty plan; raise a "
+                "kind's max shard count"
+            )
+        self.counts = np.repeat(
+            mix_rows, len(batches), axis=0
+        ).astype(int)
+        self.batches = np.tile(
+            np.asarray(batches, dtype=int), len(mix_rows)
+        )
+
+    def __len__(self) -> int:
+        return len(self.batches)
+
+    def plan(self, index: int) -> Tuple[Tuple[int, ...], int]:
+        """Plan ``index`` as ``(shard counts per kind, max_batch)``."""
+        return (
+            tuple(int(c) for c in self.counts[index]),
+            int(self.batches[index]),
+        )
+
+    def describe(self) -> str:
+        ranges = " + ".join(
+            f"{kind.device}:{kind.min_shards}..{kind.max_shards}"
+            for kind in self.kinds
+        )
+        return (
+            f"{len(self)} plans ({ranges}; batch in "
+            f"{list(self.batch_options)})"
+        )

@@ -1,0 +1,184 @@
+"""Tier B of the capacity planner: exact event-kernel plan replay.
+
+The finalists Tier A promotes are *verified*, not re-estimated: each
+plan's heterogeneous pool is assembled from per-kind session clones
+and the target workload is replayed through the full
+:class:`~repro.serving.server.ShardServer` stack (batcher, scheduler,
+event kernel) — the same oracle `repro serve` runs.
+
+Parallelism reuses the sweep driver's pinned-payload pattern
+(:mod:`repro.serving.sweep`): a picklable payload primes each worker
+once with the network, every kind's resolved config and the replay
+knobs; workers then verify whichever finalist they pick up.  A
+finalist's result depends only on the finalist (the workload is a
+fixed, pre-materialised arrival list), results carry no wall-clock
+fields, and the parent reassembles them in plan order — so
+``executor="process"`` replays byte-identically to serial.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.serving.batcher import BatcherOptions
+from repro.serving.server import ShardServer
+from repro.serving.shard import Shard, ShardPool
+from repro.serving.traffic import Request
+
+#: Tier B execution backends (mirrors ``SWEEP_EXECUTORS``).
+PLAN_EXECUTORS = ("serial", "process")
+
+
+@dataclass(frozen=True)
+class ReplayJob:
+    """One finalist to verify: a grid index, a shard mix, a batch."""
+
+    plan_index: int
+    counts: Tuple[int, ...]
+    max_batch: int
+
+
+class _ReplayState:
+    """Per-process replay context: per-kind sessions built once,
+    shard clones cached and reused across finalists."""
+
+    def __init__(self, kinds, arrivals, policy, max_wait_s,
+                 event_budget, slo_p99_s):
+        self.kinds = kinds  # resolved DeviceKind sequence
+        self.requests = [
+            Request(index=index, arrival=arrival)
+            for index, arrival in enumerate(arrivals)
+        ]
+        self.policy = policy
+        self.max_wait_s = max_wait_s
+        self.event_budget = event_budget
+        self.slo_p99_s = slo_p99_s
+        #: kind index -> shards deployed so far (lazily extended; a
+        #: plan needing n shards of a kind reuses the first n).
+        self._shards: Dict[int, List[Shard]] = {}
+
+    @classmethod
+    def from_payload(cls, payload) -> "_ReplayState":
+        from repro.planning.planner import DeviceKind
+
+        (kind_specs, arrivals, policy, max_wait_s, event_budget,
+         slo_p99_s) = payload
+        kinds = [
+            DeviceKind.build(network, device, cfg, weight, seed)
+            for network, device, cfg, weight, seed in kind_specs
+        ]
+        return cls(kinds, arrivals, policy, max_wait_s, event_budget,
+                   slo_p99_s)
+
+    def _kind_shards(self, kind_index: int, count: int) -> List[Shard]:
+        shards = self._shards.setdefault(kind_index, [])
+        kind = self.kinds[kind_index]
+        while len(shards) < count:
+            index = len(shards)
+            session = (
+                kind.session if index == 0 else kind.session.clone()
+            )
+            shards.append(
+                Shard(
+                    session,
+                    name=f"{kind.name}{index}",
+                    probe_of=shards[0] if index else None,
+                )
+            )
+        return shards[:count]
+
+    def pool(self, counts: Sequence[int]) -> ShardPool:
+        shards: List[Shard] = []
+        for kind_index, count in enumerate(counts):
+            if count:
+                shards.extend(self._kind_shards(kind_index, count))
+        if not shards:
+            raise PlanningError("replaying an empty plan")
+        return ShardPool(shards)
+
+    def run(self, job: ReplayJob) -> dict:
+        """One exact, deterministic replay — no wall-clock fields, so
+        serial and process runs serialise identically."""
+        pool = self.pool(job.counts)
+        pool.reset()
+        server = ShardServer(
+            pool,
+            self.policy,
+            BatcherOptions(
+                max_batch=job.max_batch, max_wait_s=self.max_wait_s
+            ),
+        )
+        report = server.serve(
+            list(self.requests), max_events=self.event_budget
+        )
+        p99 = report.latency_percentile(99)
+        weight = sum(
+            count * self.kinds[kind_index].weight
+            for kind_index, count in enumerate(job.counts)
+        )
+        return {
+            "plan": job.plan_index,
+            "served": report.count,
+            "p99_latency_s": None if p99 != p99 else p99,
+            "mean_batch_size": report.mean_batch_size,
+            "makespan_seconds": report.makespan_seconds,
+            "shard_seconds": report.total_shard_seconds(),
+            "billed_shard_seconds": weight * report.makespan_seconds,
+            "events_processed": report.events_processed,
+            "slo_ok": bool(
+                report.count == len(self.requests)
+                and p99 == p99
+                and p99 <= self.slo_p99_s
+            ),
+        }
+
+
+#: Worker-side state, installed once per process by the pool
+#: initializer (the ``repro.serving.sweep`` pattern).
+_replay_state: dict = {}
+
+
+def _replay_worker_init(payload) -> None:
+    _replay_state["state"] = _ReplayState.from_payload(payload)
+
+
+def _replay_run_job(job: ReplayJob) -> dict:
+    return _replay_state["state"].run(job)
+
+
+def replay_finalists(
+    state: _ReplayState,
+    payload,
+    jobs: List[ReplayJob],
+    executor: str,
+    workers: int,
+) -> List[dict]:
+    """Verify ``jobs`` serially or across worker processes.
+
+    ``state`` drives the serial path (and is the template the payload
+    was derived from); the process path primes fresh workers from
+    ``payload``.  Either way the result list is sorted by plan index —
+    the byte-identity invariant.
+    """
+    if executor not in PLAN_EXECUTORS:
+        raise PlanningError(
+            f"unknown plan executor {executor!r}; "
+            f"expected one of {PLAN_EXECUTORS}"
+        )
+    if executor == "process" and workers > 1 and len(jobs) > 1:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(jobs)),
+            initializer=_replay_worker_init,
+            initargs=(payload,),
+        ) as pool:
+            futures = [
+                pool.submit(_replay_run_job, job) for job in jobs
+            ]
+            results = [future.result() for future in futures]
+    else:
+        results = [state.run(job) for job in jobs]
+    results.sort(key=lambda row: row["plan"])
+    return results

@@ -37,9 +37,11 @@ from repro.serving.server import ShardServer
 from repro.serving.shard import ShardPool
 from repro.serving.slo import SLO_ACTIONS, SloOptions
 from repro.serving.traffic import (
+    TraceSource,
     make_requests,
     parse_shape,
     shape_arrivals,
+    shaped_trace,
 )
 
 #: Sweep execution backends.  ``thread`` is deliberately absent: cells
@@ -67,7 +69,16 @@ class SweepOptions:
     cell's fastest shard.  ``slo_action`` arms a
     :class:`~repro.serving.slo.SloController` (``None`` = observe
     only).  ``shapes`` are ``--shape`` specs warped onto every cell's
-    arrivals.
+    arrivals — synthetic *or* replayed: with ``trace`` set, every cell
+    replays the recorded arrivals (rebased, ``trace_scale``-scaled,
+    ``trace_loop``-repeated) composed through
+    :func:`~repro.serving.traffic.shaped_trace`, and the synthetic
+    knobs (``requests``/``traffic``/``load_factor``/``burst``) are
+    ignored.  The trace is read and the shape composition is applied
+    *here*, eagerly: a missing file, a malformed trace or a bad
+    shape x trace combination fails at construction — never 80 cells
+    into a sweep — and workers inherit the composed arrivals through
+    the pickled options, so no worker re-reads the file.
     """
 
     executor: str = "serial"
@@ -81,6 +92,9 @@ class SweepOptions:
     slo_p99_s: Optional[float] = None
     slo_action: Optional[str] = None
     shapes: Tuple[str, ...] = ()
+    trace: Optional[str] = None
+    trace_scale: float = 1.0
+    trace_loop: int = 1
     event_budget: Optional[int] = None
 
     def __post_init__(self) -> None:
@@ -110,8 +124,29 @@ class SweepOptions:
                 f"unknown SLO action {self.slo_action!r}; "
                 f"expected one of {SLO_ACTIONS}"
             )
-        for spec in self.shapes:
-            parse_shape(spec)  # fail fast on a bad shape
+        shapes = tuple(
+            parse_shape(spec) for spec in self.shapes  # fail fast
+        )
+        if self.trace is None:
+            if self.trace_scale != 1.0 or self.trace_loop != 1:
+                raise ServingError(
+                    "trace_scale/trace_loop only apply with a trace"
+                )
+            source = None
+        else:
+            # Load + scale + loop + warp once, up front: replay
+            # problems surface here and the composed timeline ships to
+            # workers inside the pickled options.
+            source = TraceSource.load(
+                self.trace,
+                time_scale=self.trace_scale,
+                loop=self.trace_loop,
+            )
+            if shapes:
+                source = shaped_trace(source, shapes)
+        # Not a dataclass field: derived, excluded from eq/repr, and
+        # unpickling restores it via __dict__ without re-reading.
+        object.__setattr__(self, "trace_source", source)
 
 
 @dataclass(frozen=True)
@@ -241,19 +276,30 @@ class _SweepState:
         target = options.slo_p99_s or 4.0 * min(
             shard.probe_service_seconds(max_batch) for shard in pool
         )
-        qps = options.load_factor * pool.simulated_images_per_second()
-        requests = make_requests(
-            options.traffic, options.requests, qps=qps,
-            seed=cell.seed, burst=options.burst,
-        )
-        if self.shapes:
-            arrivals = shape_arrivals(
-                [request.arrival for request in requests], self.shapes
+        if options.trace_source is not None:
+            # Replay: same (already shape-composed) timeline in every
+            # cell, so cells differ only in scenario/policy/pool.
+            requests = options.trace_source.requests()
+        else:
+            qps = (
+                options.load_factor
+                * pool.simulated_images_per_second()
             )
-            requests = [
-                type(request)(index=request.index, arrival=arrival)
-                for request, arrival in zip(requests, arrivals)
-            ]
+            requests = make_requests(
+                options.traffic, options.requests, qps=qps,
+                seed=cell.seed, burst=options.burst,
+            )
+            if self.shapes:
+                arrivals = shape_arrivals(
+                    [request.arrival for request in requests],
+                    self.shapes,
+                )
+                requests = [
+                    type(request)(
+                        index=request.index, arrival=arrival
+                    )
+                    for request, arrival in zip(requests, arrivals)
+                ]
         scenario = (
             None if cell.scenario == BASELINE_SCENARIO
             else parse_scenario(cell.scenario, seed=cell.seed)
@@ -271,7 +317,7 @@ class _SweepState:
         report = server.serve(
             requests, scenario=scenario, max_events=options.event_budget
         )
-        issued = options.requests
+        issued = len(requests)
         latencies = report.latencies()
         within = {
             f"{multiple:g}x": sum(
@@ -435,6 +481,9 @@ def _aggregate(
             "traffic": options.traffic,
             "load_factor": options.load_factor,
             "shapes": list(options.shapes),
+            "trace": options.trace,
+            "trace_scale": options.trace_scale,
+            "trace_loop": options.trace_loop,
             "slo_action": options.slo_action,
         },
         cells=cells,

@@ -224,9 +224,82 @@ def test_options_reject_bad_estimator():
         DseOptions(estimator="simd")
 
 
-def test_options_reject_vectorized_with_jobs():
-    with pytest.raises(DseError, match="jobs > 1"):
-        DseOptions(estimator="vectorized", jobs=2)
+def test_options_reject_vectorized_with_thread_executor():
+    """Threads would serialise the numpy batch math on the GIL, so the
+    combination is refused eagerly at construction."""
+    with pytest.raises(DseError, match="requires.*process"):
+        DseOptions(estimator="vectorized", jobs=2, executor="thread")
+
+
+def test_options_vectorized_jobs_auto_upgrade_to_process():
+    """serial + jobs > 1 auto-upgrades, and for the vectorized
+    estimator the upgrade target is the process executor."""
+    options = DseOptions(estimator="vectorized", jobs=2)
+    assert options.executor == "process"
+    # The scalar estimator keeps the pre-executor thread upgrade.
+    assert DseOptions(jobs=2).executor == "thread"
+    # jobs == 1 never upgrades anything.
+    assert DseOptions(estimator="vectorized").executor == "serial"
+
+
+@pytest.mark.parametrize("objective", ["throughput", "latency"])
+@pytest.mark.parametrize(
+    "knobs",
+    [
+        dict(prune=False),
+        dict(prune=True),
+        dict(prune=True, best_first=True),
+        dict(prune=False, use_cache=False),
+    ],
+)
+def test_run_dse_process_vectorized_identical(objective, knobs):
+    """Candidate batches shipped to worker processes running the numpy
+    path return the serial-vectorized (hence scalar) ranking byte for
+    byte under every evaluation-knob combination."""
+    network = zoo.tiny_cnn()
+    serial = run_dse(
+        DEVICE, network,
+        DseOptions(objective=objective, estimator="vectorized", **knobs),
+    )
+    process = run_dse(
+        DEVICE, network,
+        DseOptions(
+            objective=objective, estimator="vectorized", jobs=2,
+            executor="process", **knobs,
+        ),
+    )
+    assert _ranking(process) == _ranking(serial)
+    assert (
+        process.candidates_considered == serial.candidates_considered
+    )
+
+
+def test_process_vectorized_offers_populate_supplied_cache():
+    """Worker-side vectorized offers ride the dirty delta back to the
+    parent cache: later scalar lookups hit with bit-identical rows."""
+    from repro.estimator.calibration import get_calibration
+
+    network = zoo.tiny_cnn()
+    cache = EvaluationCache()
+    result = run_dse(
+        DEVICE, network,
+        DseOptions(estimator="vectorized", jobs=2, executor="process"),
+        cache=cache,
+    )
+    dirty_estimates, _ = cache.take_dirty()
+    assert dirty_estimates  # something to flush
+    cal = get_calibration(DEVICE.name)
+    before = cache.stats.hits
+    for info, layer_est in zip(
+        network.compute_layers(), result.estimate.layers
+    ):
+        pool = fused_pool_for(network, info.index)
+        cached = cache.estimate(
+            result.cfg, DEVICE, info, layer_est.mode,
+            layer_est.dataflow, cal, pool,
+        )
+        assert cached == layer_est
+    assert cache.stats.hits == before + len(result.estimate.layers)
 
 
 def test_exact_limit_guard():

@@ -1,0 +1,190 @@
+"""Property tests for the capacity planner's two analytic claims.
+
+Hypothesis attacks what ``docs/planning.md`` argues on paper:
+
+* **admissibility** — the Tier A prune reasons are proofs: on
+  randomized small grids and workloads, a plan the scorer prunes is
+  *never* feasible under event-kernel replay, whatever the batcher,
+  policy and batch mix end up doing;
+* **monotonicity** — the ranking surrogate responds sanely to load:
+  utilisation and the queueing-wait tail never decrease as the
+  arrival rate grows, and neither does the projected p99 once the
+  batch-fill credit (which legitimately shrinks with rate) is off.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.session import _load_network
+from repro.planning import (
+    AnalyticPlanScorer,
+    ArrivalProfile,
+    KindSpec,
+    PlanGrid,
+    ReplayJob,
+    resolve_kinds,
+)
+from repro.planning.replay import _ReplayState
+from repro.serving.traffic import make_requests
+
+SEED = 2020
+
+#: Resolved once per test module: kind resolution runs the estimator
+#: stack, and the properties only need the (fixed) timing truths.
+_KINDS = None
+
+
+def planner_kinds():
+    global _KINDS
+    if _KINDS is None:
+        _KINDS = resolve_kinds(
+            _load_network("tiny_cnn"),
+            (KindSpec("vu9p", 0, 2), KindSpec("pynq-z1", 0, 3)),
+            seed=SEED,
+        )
+    return _KINDS
+
+
+# -- admissibility ---------------------------------------------------------
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    vu9p_max=st.integers(1, 2),
+    pynq_max=st.integers(1, 3),
+    batches=st.sets(
+        st.sampled_from([1, 2, 6, 12]), min_size=1, max_size=3
+    ),
+    rate=st.floats(2e5, 3e6),
+    slo_us=st.floats(20.0, 250.0),
+    seed=st.integers(0, 1023),
+)
+def test_pruned_plans_never_replay_feasible(
+    vu9p_max, pynq_max, batches, rate, slo_us, seed
+):
+    """Every pruned plan of a randomized grid is replayed through the
+    event kernel; none may meet the SLO (the bounds are admissible)."""
+    kinds = planner_kinds()
+    grid = PlanGrid(
+        (
+            KindSpec("vu9p", 0, vu9p_max),
+            KindSpec("pynq-z1", 0, pynq_max),
+        ),
+        tuple(sorted(batches)),
+    )
+    scorer = AnalyticPlanScorer(
+        service_seconds=[kind.probe_seconds() for kind in kinds],
+        instances=[kind.instances for kind in kinds],
+        weights=[kind.weight for kind in kinds],
+    )
+    requests = make_requests("poisson", 48, qps=rate, seed=seed)
+    profile = ArrivalProfile.from_requests(requests)
+    slo_s = slo_us * 1e-6
+    max_wait_s = 2.0 * max(kind.probe_seconds() for kind in kinds)
+    scores = scorer.score(
+        grid.counts, grid.batches, profile, slo_s,
+        max_wait_s=max_wait_s,
+    )
+
+    pruned = [
+        index for index in range(len(grid))
+        if scores.pruned[index] != 0
+    ]
+    if not pruned:
+        return
+    state = _ReplayState(
+        kinds,
+        tuple(request.arrival for request in requests),
+        "shortest-latency",
+        max_wait_s,
+        None,
+        slo_s,
+    )
+    for index in pruned:
+        row = state.run(ReplayJob(index, *grid.plan(index)))
+        assert not row["slo_ok"], (
+            f"plan {grid.plan(index)} was pruned as "
+            f"{scores.pruned[index]} but replays at p99 "
+            f"{row['p99_latency_s']} <= SLO {slo_s}"
+        )
+
+
+# -- monotonicity ----------------------------------------------------------
+
+
+def _nondecreasing(low, high):
+    """Elementwise ``high >= low`` with float slack; inf-inf pairs and
+    the finite-to-inf transition both count as nondecreasing."""
+    both_inf = np.isinf(low) & np.isinf(high)
+    ok = both_inf | (high >= low * (1.0 - 1e-9) - 1e-18)
+    return bool(np.all(ok))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    service_us=st.lists(
+        st.floats(1.0, 500.0), min_size=1, max_size=3
+    ),
+    instances=st.data(),
+    rows=st.integers(1, 6),
+    rate_low=st.floats(1e3, 5e6),
+    rate_step=st.floats(1.01, 50.0),
+)
+def test_surrogate_monotone_in_arrival_rate(
+    service_us, instances, rows, rate_low, rate_step
+):
+    """Raising only the arrival rate never lowers utilisation, the
+    queue-wait tail, or (with no batch-fill credit) the projected
+    p99."""
+    kinds = len(service_us)
+    ni = instances.draw(
+        st.lists(
+            st.integers(1, 6), min_size=kinds, max_size=kinds
+        ),
+        label="instances",
+    )
+    counts = np.array(
+        instances.draw(
+            st.lists(
+                st.lists(
+                    st.integers(0, 3), min_size=kinds, max_size=kinds
+                ).filter(lambda row: sum(row) > 0),
+                min_size=rows,
+                max_size=rows,
+            ),
+            label="counts",
+        ),
+        dtype=float,
+    )
+    batches = np.array(
+        instances.draw(
+            st.lists(
+                st.integers(1, 12), min_size=rows, max_size=rows
+            ),
+            label="batches",
+        ),
+        dtype=float,
+    )
+    scorer = AnalyticPlanScorer(
+        service_seconds=[value * 1e-6 for value in service_us],
+        instances=ni,
+    )
+    count = 64
+    # A permissive SLO keeps every plan un-pruned in both profiles, so
+    # the surrogate columns stay comparable (pruned rows go NaN).
+    slo_s = 1e9
+
+    def columns(rate):
+        profile = ArrivalProfile(
+            count=count, rate=rate, last_arrival_s=(count - 1) / rate
+        )
+        return scorer.score(
+            counts, batches, profile, slo_s, max_wait_s=0.0
+        )
+
+    low = columns(rate_low)
+    high = columns(rate_low * rate_step)
+    assert _nondecreasing(low.utilisation, high.utilisation)
+    assert _nondecreasing(low.queue_wait_p99_s, high.queue_wait_p99_s)
+    assert _nondecreasing(low.p99_s, high.p99_s)

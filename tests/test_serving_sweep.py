@@ -103,6 +103,52 @@ class TestSweepOptions:
         with pytest.raises(ServingError):
             SweepOptions(shapes=("square:1x2",))
 
+    def test_validates_trace_eagerly(self, tmp_path):
+        # A missing/unreadable trace fails at construction, not in
+        # cell 0 of a sweep.
+        with pytest.raises(ServingError, match="cannot read trace"):
+            SweepOptions(trace=str(tmp_path / "missing.csv"))
+        # Trace knobs without a trace are a spec error.
+        with pytest.raises(ServingError, match="only apply"):
+            SweepOptions(trace_scale=0.5)
+        with pytest.raises(ServingError, match="only apply"):
+            SweepOptions(trace_loop=2)
+        # A bad shape fails even when it would warp a valid trace.
+        trace = tmp_path / "trace.csv"
+        trace.write_text("timestamp\n0.0\n0.001\n0.002\n")
+        with pytest.raises(ServingError):
+            SweepOptions(trace=str(trace), shapes=("square:1x2",))
+
+    def test_trace_composes_with_shapes_at_construction(self, tmp_path):
+        from repro.serving.traffic import (
+            TraceSource,
+            parse_shape,
+            shape_arrivals,
+            shaped_trace,
+        )
+
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "timestamp\n"
+            + "\n".join(f"{i * 0.004:.6f}" for i in range(24))
+            + "\n"
+        )
+        shapes = ("flash:5@0.02~0.03",)
+        options = SweepOptions(
+            trace=str(trace), trace_scale=0.5, trace_loop=2,
+            shapes=shapes,
+        )
+        source = TraceSource.load(str(trace), time_scale=0.5, loop=2)
+        expected = shaped_trace(
+            source, [parse_shape(spec) for spec in shapes]
+        )
+        assert options.trace_source.arrivals == expected.arrivals
+        # The warp is real: shaped arrivals differ from the replay.
+        assert options.trace_source.arrivals != source.arrivals
+        assert options.trace_source.arrivals == shape_arrivals(
+            source.arrivals, [parse_shape(spec) for spec in shapes]
+        )
+
 
 # -- running ---------------------------------------------------------------
 
@@ -167,6 +213,60 @@ class TestRunSweep:
             per[spec]["attainment"] <= baseline
             for spec in GRID["scenarios"] if spec != "none"
         )
+
+    def test_trace_replay_drives_every_cell(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text(
+            "timestamp\n"
+            + "\n".join(f"{i * 0.002:.6f}" for i in range(10))
+            + "\n"
+        )
+        grid = SweepGrid(
+            ["none", "kill:shard0@0.002,restore@0.01"],
+            ["round-robin"],
+            [2],
+        )
+        session = make_session()
+        options = SweepOptions(
+            trace=str(trace), trace_loop=2,
+            shapes=("flash:4@0.005~0.01",),
+        )
+        report = run_sweep(session, grid, options, seed=7)
+        # Every cell replays the full looped trace, not --requests.
+        for cell in report.cells:
+            assert cell["issued"] == 20
+            assert (
+                cell["served"] + cell["shed"] + cell["unserved"]
+                == cell["issued"]
+            )
+        assert report.grid["trace"] == str(trace)
+        assert report.grid["trace_loop"] == 2
+
+    def test_trace_serial_and_process_byte_identical(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text(
+            "\n".join(f"{i * 0.003:.6f}" for i in range(12)) + "\n"
+        )
+        grid = SweepGrid(
+            ["none", "degrade:shard0@0.001..0.01x4"],
+            ["round-robin", "shortest-latency"],
+            [2],
+        )
+        session = make_session()
+        kwargs = dict(
+            trace=str(trace),
+            trace_scale=0.5,
+            shapes=("diurnal:0.5x0.02",),
+        )
+        serial = run_sweep(
+            session, grid, SweepOptions(**kwargs), seed=5
+        )
+        process = run_sweep(
+            session, grid,
+            SweepOptions(executor="process", jobs=2, **kwargs),
+            seed=5,
+        )
+        assert serial.to_json() == process.to_json()
 
     def test_same_seed_reruns_identically(self):
         grid = SweepGrid(["none"], ["round-robin"], [2])
