@@ -39,6 +39,7 @@ SUMMARY_FIELDS = (
     "shed",
     "unserved",
     "events_per_second",
+    "replay_requests_per_second",
     "slo_attainment",
     "cell_count",
     "plans_per_second",

@@ -302,6 +302,37 @@ def _parse_serve_shapes(args):
     return shapes
 
 
+def _write_profile(profiler, path, top: int = 25) -> None:
+    """Dump the ``top`` cumulative-time rows of a cProfile run as JSON.
+
+    The tuple layout mirrors ``pstats``: stats map
+    ``(file, line, func) -> (primitive calls, ncalls, tottime,
+    cumtime, callers)``.  Rows are ordered by descending cumulative
+    time with the location as a deterministic tie-break.
+    """
+    import json
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    rows = [
+        {
+            "function": func,
+            "file": file,
+            "line": line,
+            "ncalls": ncalls,
+            "primitive_calls": primitive,
+            "tottime": tottime,
+            "cumtime": cumtime,
+        }
+        for (file, line, func), (primitive, ncalls, tottime, cumtime, _)
+        in stats.stats.items()
+    ]
+    rows.sort(key=lambda row: (-row["cumtime"], row["file"],
+                               row["line"], row["function"]))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(rows[:top], indent=2) + "\n")
+
+
 def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
     from repro.serving import (
         BatcherOptions,
@@ -390,14 +421,31 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
         slo=slo,
         autoscale=autoscale,
     )
-    report = server.serve(traffic, scenario=scenario,
-                          max_events=args.event_budget)
+    profile = getattr(args, "profile", None)
+    if profile is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            report = server.serve(traffic, scenario=scenario,
+                                  max_events=args.event_budget,
+                                  engine=args.engine)
+        finally:
+            profiler.disable()
+        _write_profile(profiler, Path(profile))
+        print(f"profile written to {profile}")
+    else:
+        report = server.serve(traffic, scenario=scenario,
+                              max_events=args.event_budget,
+                              engine=args.engine)
     print(f"pool ({args.policy}, {traffic_label}):")
     print(pool.describe())
     if scenario is not None:
         print(f"scenario: {scenario.describe()}")
     print()
     print(report.describe())
+    print(f"  engine: {server.last_engine}")
     if server.last_slo_controller is not None:
         print(f"  {server.last_slo_controller.describe()}")
     if server.last_autoscaler is not None:
@@ -421,7 +469,8 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
 
         out = Path(args.report_json)
         out.parent.mkdir(parents=True, exist_ok=True)
-        out.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        payload = {**report.to_dict(), "engine": server.last_engine}
+        out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"report written to {out}")
     return 0
 
@@ -795,6 +844,15 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="N", dest="event_budget",
                    help="kernel runaway-loop budget (default 1M); "
                         "raise for large replays (~3 events/request)")
+    from repro.serving.server import ENGINES
+    p.add_argument("--engine", default="auto", choices=ENGINES,
+                   help="replay engine: 'auto' fast-forwards eligible "
+                        "plain open-loop runs, 'kernel' forces the "
+                        "event kernel, 'fastforward' errors if the "
+                        "run is ineligible")
+    p.add_argument("--profile", default=None, metavar="PATH",
+                   help="cProfile the serve and write the top-25 "
+                        "cumulative-time stats to PATH as JSON")
     p.add_argument("--dse", action="store_true",
                    help="run the DSE instead of the paper configuration")
     p.set_defaults(func=_cmd_serve)

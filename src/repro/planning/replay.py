@@ -111,6 +111,9 @@ class _ReplayState:
                 max_batch=job.max_batch, max_wait_s=self.max_wait_s
             ),
         )
+        # Tier B finalists are plain open-loop replays — exactly the
+        # fast-forward engine's home turf, so engine="auto" selects it
+        # and the row records which engine verified the plan.
         report = server.serve(
             list(self.requests), max_events=self.event_budget
         )
@@ -128,6 +131,7 @@ class _ReplayState:
             "shard_seconds": report.total_shard_seconds(),
             "billed_shard_seconds": weight * report.makespan_seconds,
             "events_processed": report.events_processed,
+            "engine": server.last_engine,
             "slo_ok": bool(
                 report.count == len(self.requests)
                 and p99 == p99

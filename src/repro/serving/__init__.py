@@ -35,6 +35,10 @@ from repro.serving.chaos import (
     Stragglers,
     parse_scenario,
 )
+from repro.serving.fastforward import (
+    fastforward_serve,
+    ineligible_reason,
+)
 from repro.serving.events import (
     Arrival,
     BatchDone,
@@ -68,7 +72,7 @@ from repro.serving.scheduler import (
     ShortestExpectedLatency,
     make_policy,
 )
-from repro.serving.server import ShardServer, analytical_reference
+from repro.serving.server import ENGINES, ShardServer, analytical_reference
 from repro.serving.shard import Shard, ShardPool
 from repro.serving.slo import SLO_ACTIONS, SloController, SloOptions
 from repro.serving.sweep import (
@@ -111,12 +115,15 @@ __all__ = [
     "Degrade",
     "Diurnal",
     "DynamicBatcher",
+    "ENGINES",
     "Event",
     "EventKernel",
     "EventSource",
     "FailureScenario",
+    "fastforward_serve",
     "FlashCrowd",
     "Flush",
+    "ineligible_reason",
     "Kill",
     "LeastLoaded",
     "load_trace",

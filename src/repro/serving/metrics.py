@@ -17,6 +17,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ServingError
 
 
@@ -50,14 +52,26 @@ class RequestRecord:
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``."""
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``values``.
+
+    Selection runs in O(n) via :func:`numpy.partition` — the k-th
+    order statistic is the same value the old full sort produced, so
+    reports over million-record replays stop paying an O(n log n)
+    sort per percentile.  A sample containing NaN falls back to the
+    sorted-list path: NaN ordering under ``sorted`` is
+    comparison-dependent, and preserving the legacy result exactly
+    matters more than speed on a degenerate sample.
+    """
     if not values:
         raise ServingError("percentile of an empty sample")
     if not 0 <= q <= 100:
         raise ServingError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100 * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
+    rank = max(1, math.ceil(q / 100 * len(values)))
+    k = min(rank, len(values)) - 1
+    array = np.asarray(values, dtype=np.float64)
+    if np.isnan(array).any():
+        return sorted(values)[k]
+    return float(np.partition(array, k)[k])
 
 
 @dataclass(frozen=True)
@@ -260,10 +274,23 @@ class ServingReport:
 
     @property
     def events_per_second(self) -> float:
-        """Kernel dispatch rate (host events/s); NaN when unmeasured."""
+        """Kernel dispatch rate (host events/s); NaN when unmeasured.
+
+        The fast-forward engine reports its *equivalent* event count
+        (what the kernel would have dispatched for the same run), so
+        this stays one trajectory metric across both engines."""
         if self.wall_seconds <= 0.0:
             return float("nan")
         return self.events_processed / self.wall_seconds
+
+    @property
+    def replay_requests_per_second(self) -> float:
+        """Served requests per host wall second — the replay-engine
+        throughput figure the perf trajectory tracks next to
+        :attr:`events_per_second`; NaN when unmeasured."""
+        if self.wall_seconds <= 0.0:
+            return float("nan")
+        return self.count / self.wall_seconds
 
     def total_shard_seconds(self) -> float:
         """Provisioned shard-time of the run: the autoscaler's bill, or
@@ -302,6 +329,9 @@ class ServingReport:
             "events_processed": self.events_processed,
             "wall_seconds": self.wall_seconds,
             "events_per_second": safe(self.events_per_second),
+            "replay_requests_per_second": safe(
+                self.replay_requests_per_second
+            ),
             "scale_ups": self.scale_ups,
             "scale_downs": self.scale_downs,
             "scale_events": [

@@ -58,6 +58,7 @@ from repro.serving.events import (
     ShardUp,
 )
 from repro.serving.chaos import ChaosScenario
+from repro.serving.fastforward import fastforward_serve, ineligible_reason
 from repro.serving.metrics import RequestRecord, ServingReport, ShardUsage
 from repro.serving.scenarios import FailureScenario
 from repro.serving.scheduler import (
@@ -80,6 +81,12 @@ Traffic = Union[Sequence[Request], EventSource]
 #: :class:`~repro.serving.chaos.ChaosScenario` — both prime typed
 #: events onto the kernel, so the server treats them identically.
 Scenario = Union[FailureScenario, ChaosScenario]
+
+#: Replay engines ``serve`` understands.  ``auto`` picks the
+#: fast-forward recurrence whenever the run is a plain open-loop
+#: replay (see :func:`~repro.serving.fastforward.ineligible_reason`)
+#: and the event kernel otherwise; the explicit names force one path.
+ENGINES = ("auto", "kernel", "fastforward")
 
 
 class _Usage:
@@ -411,12 +418,17 @@ class ShardServer:
         #: tick counters, scale decisions), for inspection/printing.
         self.last_slo_controller: Optional[SloController] = None
         self.last_autoscaler: Optional[AutoscalerController] = None
+        #: Which engine the most recent :meth:`serve` ran on
+        #: (``"kernel"`` or ``"fastforward"``; ``None`` before any
+        #: run) — the non-silent accounting sweeps and planners record.
+        self.last_engine: Optional[str] = None
 
     def serve(
         self,
         traffic: Traffic,
         scenario: Optional[Scenario] = None,
         max_events: Optional[int] = None,
+        engine: str = "auto",
     ) -> ServingReport:
         """Run one workload; returns the aggregate report.
 
@@ -427,9 +439,44 @@ class ShardServer:
         measure independent runs (the timing probes stay warm).
         ``max_events`` raises the kernel's runaway-loop budget for
         legitimately large workloads (an open-loop run costs roughly
-        three events per request: arrival, flush, completion).
+        three events per request: arrival, flush, completion) and
+        bounds the fast-forward path's *equivalent* event count the
+        same way.
+
+        ``engine`` selects the replay path: ``"auto"`` (default)
+        fast-forwards plain open-loop runs and falls back to the
+        event kernel whenever anything can react to observed state;
+        ``"kernel"`` forces the kernel; ``"fastforward"`` forces the
+        recurrence and raises on ineligible configurations rather
+        than silently changing semantics.  Both engines produce
+        byte-identical reports (wall-clock fields aside) —
+        :attr:`last_engine` records which one ran.
         """
-        run = _ServeRun(self, self._source(traffic), scenario, max_events)
+        if engine not in ENGINES:
+            raise ServingError(
+                f"unknown serve engine {engine!r}; "
+                f"expected one of {ENGINES}"
+            )
+        source = self._source(traffic)
+        if engine == "kernel":
+            chosen = "kernel"
+        else:
+            reason = ineligible_reason(self, source, scenario)
+            if reason is None:
+                chosen = "fastforward"
+            elif engine == "fastforward":
+                raise ServingError(
+                    "engine='fastforward' requires a plain open-loop "
+                    f"run: {reason}"
+                )
+            else:
+                chosen = "kernel"
+        self.last_engine = chosen
+        if chosen == "fastforward":
+            self.last_slo_controller = None
+            self.last_autoscaler = None
+            return fastforward_serve(self, source, max_events)
+        run = _ServeRun(self, source, scenario, max_events)
         self.last_slo_controller = run.slo
         self.last_autoscaler = run.autoscaler
         return run.execute()

@@ -314,6 +314,10 @@ class _SweepState:
                            max_wait_s=options.max_wait_s),
             slo=slo,
         )
+        # engine="auto": scenario-free, controller-free cells ride the
+        # fast-forward recurrence; anything reactive falls back to the
+        # kernel, and the cell records which engine ran so a fallback
+        # is visible in the report, never silent.
         report = server.serve(
             requests, scenario=scenario, max_events=options.event_budget
         )
@@ -345,6 +349,7 @@ class _SweepState:
             "attainment": report.slo_attainment(target),
             "survival": report.survival(target, SURVIVAL_MULTIPLES),
             "events_processed": report.events_processed,
+            "engine": server.last_engine,
         }
 
 
@@ -404,6 +409,10 @@ class SweepReport:
             f"  served {totals['count']}, shed {totals['shed']}, "
             f"unserved {totals['unserved']}; overall SLO attainment "
             f"{totals['slo_attainment'] * 100:.1f}%",
+            "  engines: " + ", ".join(
+                f"{engine} x{cells}"
+                for engine, cells in totals["engines"].items()
+            ),
         ]
         if self.wall_seconds > 0:
             lines.append(
@@ -470,6 +479,15 @@ def _aggregate(
         "events_processed": sum(
             cell["events_processed"] for cell in cells
         ),
+        # Engine accounting: how many cells fast-forwarded and how
+        # many fell back to the kernel — a fallback should show up in
+        # the artifact, not hide inside identical numbers.
+        "engines": {
+            engine: sum(
+                1 for cell in cells if cell["engine"] == engine
+            )
+            for engine in sorted({cell["engine"] for cell in cells})
+        },
     }
     return SweepReport(
         grid={
