@@ -37,6 +37,7 @@ SUMMARY_FIELDS = (
     "scale_ups",
     "scale_downs",
     "shed",
+    "admission_shed",
     "unserved",
     "events_per_second",
     "replay_requests_per_second",
@@ -45,6 +46,11 @@ SUMMARY_FIELDS = (
     "plans_per_second",
     "billed_shard_seconds",
 )
+
+#: ``ServingReport.to_dict`` schema versions this folder understands.
+#: Schema 1 (pre-tenancy) has no ``schema`` key at all; schema 2 adds
+#: the key plus ``admission_shed`` and the per-tenant ``tenants`` map.
+KNOWN_SCHEMAS = (1, 2)
 
 
 def commit_id() -> str:
@@ -63,7 +69,29 @@ def commit_id() -> str:
 
 def summarise(report_path: Path) -> dict:
     report = json.loads(report_path.read_text())
-    return {field: report.get(field) for field in SUMMARY_FIELDS}
+    schema = report.get("schema", 1)
+    if schema not in KNOWN_SCHEMAS:
+        raise ValueError(
+            f"{report_path}: unknown report schema {schema!r}; "
+            f"this folder understands {KNOWN_SCHEMAS}"
+        )
+    summary = {field: report.get(field) for field in SUMMARY_FIELDS}
+    tenants = report.get("tenants")
+    if tenants:
+        # Keep the full per-tenant breakdowns: they are small, and
+        # nested --require paths (tenants.NAME.FIELD) guard them.
+        summary["tenants"] = tenants
+    return summary
+
+
+def lookup(run: dict, path: str):
+    """Resolve a dotted --require path inside one run's summary."""
+    value = run
+    for part in path.split("."):
+        if not isinstance(value, dict):
+            return None
+        value = value.get(part)
+    return value
 
 
 def main(argv=None) -> int:
@@ -81,7 +109,8 @@ def main(argv=None) -> int:
         "--require", action="append", default=[], metavar="FIELD",
         help="fail unless at least one folded run carries this summary "
              "field (guards CI against silently losing a tracked "
-             "figure; repeatable)",
+             "figure; repeatable).  Dotted paths reach the schema-2 "
+             "per-tenant map, e.g. tenants.interactive.p99_latency_s",
     )
     args = parser.parse_args(argv)
 
@@ -92,14 +121,19 @@ def main(argv=None) -> int:
             print(f"error: expected LABEL=REPORT.json, got {spec!r}",
                   file=sys.stderr)
             return 2
-        runs[label] = summarise(Path(path))
+        try:
+            runs[label] = summarise(Path(path))
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     for field in args.require:
-        if field not in SUMMARY_FIELDS:
+        if "." not in field and field not in SUMMARY_FIELDS:
             print(f"error: --require {field!r} is not a tracked "
-                  f"summary field {SUMMARY_FIELDS}", file=sys.stderr)
+                  f"summary field {SUMMARY_FIELDS} (dotted paths "
+                  "reach nested tenant fields)", file=sys.stderr)
             return 2
-        if all(run.get(field) is None for run in runs.values()):
+        if all(lookup(run, field) is None for run in runs.values()):
             print(f"error: no folded run carries {field!r} "
                   f"(runs: {sorted(runs)})", file=sys.stderr)
             return 1

@@ -256,7 +256,13 @@ def _autoscale_options(args, bounds, pool, max_batch):
 
 
 def _cmd_serve(args) -> int:
-    from repro.serving import ShardPool, SloOptions, parse_scenario
+    from repro.errors import ServingError
+    from repro.serving import (
+        ShardPool,
+        SloOptions,
+        parse_scenario,
+        parse_tenants,
+    )
 
     # Parse the cheap, error-prone options before paying for the
     # session: a bad spec should fail before DSE/compilation.  The
@@ -272,6 +278,14 @@ def _cmd_serve(args) -> int:
                    action=args.slo_action)
         if args.slo_p99 is not None else None
     )
+    tenants = parse_tenants(args.tenant) if args.tenant else None
+    if args.strict_slo and slo is None and not (
+        tenants is not None and tenants.slo_targets()
+    ):
+        raise ServingError(
+            "--strict-slo needs a target to enforce: pass --slo-p99 "
+            "and/or a --tenant with :p99="
+        )
     autoscale_bounds = _parse_autoscale(args)
     session = _serve_session(args)
     shards = args.shards
@@ -279,7 +293,9 @@ def _cmd_serve(args) -> int:
         shards = autoscale_bounds[1]  # replicate the pool to max
     pool = ShardPool.replicate(session, shards)
     try:
-        return _run_serve(args, pool, scenario, slo, autoscale_bounds)
+        return _run_serve(
+            args, pool, scenario, slo, autoscale_bounds, tenants
+        )
     finally:
         # Always flush a store-backed session, even when the serve run
         # itself fails (e.g. a scenario naming an unknown shard) — the
@@ -333,14 +349,18 @@ def _write_profile(profiler, path, top: int = 25) -> None:
     path.write_text(json.dumps(rows[:top], indent=2) + "\n")
 
 
-def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
+def _run_serve(
+    args, pool, scenario, slo, autoscale_bounds=None, tenants=None
+) -> int:
     from repro.serving import (
         BatcherOptions,
         ClosedLoopClientPool,
         Request,
         ShardServer,
         TraceSource,
+        WorkloadSpec,
         analytical_reference,
+        assign_tenants,
         make_requests,
         shape_arrivals,
         shaped_trace,
@@ -371,6 +391,7 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
             think_time_s=args.think_time * 1e-3,
             distribution=args.think_dist,
             seed=args.seed,
+            tenants=tenants,
         )
         traffic_label = (
             f"closed-loop: {args.closed_loop} clients, "
@@ -401,6 +422,10 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
             traffic_label += " + " + ", ".join(
                 shape.describe() for shape in shapes
             )
+        if tenants is not None:
+            # Weight-proportional interleaved tagging keeps the
+            # arrival sequence itself unchanged.
+            traffic = assign_tenants(traffic, tenants)
     max_batch = args.max_batch
     if max_batch is None:
         # A batch occupies one shard's NI batch-parallel instances, so
@@ -414,13 +439,19 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
         _autoscale_options(args, autoscale_bounds, pool, max_batch)
         if autoscale_bounds is not None else None
     )
-    server = ShardServer(
-        pool, args.policy,
-        BatcherOptions(max_batch=max_batch,
-                       max_wait_s=args.max_wait_ms * 1e-3),
+    spec = WorkloadSpec(
+        traffic=traffic,
+        policy=args.policy,
+        batcher=BatcherOptions(max_batch=max_batch,
+                               max_wait_s=args.max_wait_ms * 1e-3),
+        tenants=tenants,
         slo=slo,
         autoscale=autoscale,
+        scenario=scenario,
+        engine=args.engine,
+        max_events=args.event_budget,
     )
+    server = ShardServer(pool)
     profile = getattr(args, "profile", None)
     if profile is not None:
         import cProfile
@@ -428,17 +459,13 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
         try:
-            report = server.serve(traffic, scenario=scenario,
-                                  max_events=args.event_budget,
-                                  engine=args.engine)
+            report = server.run(spec)
         finally:
             profiler.disable()
         _write_profile(profiler, Path(profile))
         print(f"profile written to {profile}")
     else:
-        report = server.serve(traffic, scenario=scenario,
-                              max_events=args.event_budget,
-                              engine=args.engine)
+        report = server.run(spec)
     print(f"pool ({args.policy}, {traffic_label}):")
     print(pool.describe())
     if scenario is not None:
@@ -453,6 +480,7 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
     if (
         args.closed_loop is None and scenario is None and slo is None
         and autoscale is None and args.trace is None
+        and tenants is None
     ):
         # The BatchRunner cross-check only measures the same quantity
         # when every request is served on the full pool.
@@ -472,7 +500,55 @@ def _run_serve(args, pool, scenario, slo, autoscale_bounds=None) -> int:
         payload = {**report.to_dict(), "engine": server.last_engine}
         out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"report written to {out}")
+    if getattr(args, "strict_slo", False):
+        misses = _slo_misses(report, slo)
+        if misses:
+            for miss in misses:
+                print(f"STRICT-SLO MISS: {miss}")
+            return 1
+        print("strict-slo: all latency targets met")
     return 0
+
+
+def _slo_misses(report, slo) -> list:
+    """Every way this run missed a latency target (empty = all met).
+
+    Covers the degenerate case the report's describe() now calls out:
+    when *every* request was shed there are no completions, so the p99
+    was never evaluated — under ``--strict-slo`` that counts as a miss,
+    not a silent pass.
+    """
+    misses = []
+    if slo is not None:
+        if not report.records:
+            if report.shed:
+                misses.append(
+                    "all requests shed: the global p99 target "
+                    f"{slo.p99_target_s * 1e3:.2f} ms was never "
+                    "evaluated"
+                )
+        elif report.latency_percentile(99) > slo.p99_target_s:
+            misses.append(
+                f"global p99 "
+                f"{report.latency_percentile(99) * 1e3:.2f} ms > "
+                f"target {slo.p99_target_s * 1e3:.2f} ms"
+            )
+    for name, target in sorted(report.tenant_slo_targets.items()):
+        breakdown = report.per_tenant().get(name)
+        if breakdown is None or breakdown.issued == 0:
+            continue
+        if breakdown.count == 0:
+            misses.append(
+                f"tenant {name}: every issued request shed, p99 "
+                f"target {target * 1e3:.2f} ms never evaluated"
+            )
+        elif breakdown.p99_latency_s > target:
+            misses.append(
+                f"tenant {name}: p99 "
+                f"{breakdown.p99_latency_s * 1e3:.2f} ms > target "
+                f"{target * 1e3:.2f} ms"
+            )
+    return misses
 
 
 def _cmd_sweep(args) -> int:
@@ -660,6 +736,7 @@ def _cmd_experiments(args) -> int:
         serving_study,
         table3,
         table4,
+        tenants_study,
         vgg16_case,
     )
     from repro.experiments import figure6 as fig6
@@ -680,6 +757,9 @@ def _cmd_experiments(args) -> int:
         "autoscale": lambda: autoscale_study.main(seed=args.seed),
         "chaos": lambda: chaos_study.main(seed=args.seed),
         "plan": lambda: planning_study.main(seed=args.seed),
+        "tenants": lambda: tenants_study.main(
+            seed=args.seed, report_json=args.report_json
+        ),
     }
     if args.name not in registry:
         print(f"unknown experiment {args.name!r}; "
@@ -793,6 +873,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo-action", default="shed", choices=SLO_ACTIONS,
                    dest="slo_action",
                    help="what to do while the SLO is breached")
+    p.add_argument("--strict-slo", action="store_true",
+                   dest="strict_slo",
+                   help="exit nonzero when a latency SLO (global or "
+                        "per-tenant) is missed — including the "
+                        "degenerate all-requests-shed case")
+    p.add_argument("--tenant", action="append", default=None,
+                   metavar="SPEC",
+                   help="register a tenant; repeatable.  SPEC is "
+                        "NAME[:weight=W][:tier=interactive|batch]"
+                        "[:p99=MS][:cap=N].  Open-loop traffic is "
+                        "split across tenants by weight; traces tag "
+                        "via their 'tenant' column; closed-loop "
+                        "clients split into per-tenant groups")
     p.add_argument("--scenario", default=None,
                    help="chaos scenario (virtual seconds), e.g. "
                         "'kill:shard0@0.05,restore@0.12', "
@@ -1026,10 +1119,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate a paper artifact")
     p.add_argument("name", help="table3|table4|figure6|estimation-error|"
                                 "overhead|vgg16-case|ablation|serving|"
-                                "scenarios|autoscale|chaos")
+                                "scenarios|autoscale|chaos|tenants")
     p.add_argument("--seed", type=int, default=2020,
                    help="traffic seed for the serving/scenarios/"
-                        "autoscale/chaos studies")
+                        "autoscale/chaos/tenants studies")
+    p.add_argument("--report-json", default=None, metavar="PATH",
+                   dest="report_json",
+                   help="tenants study: also write the protected run's "
+                        "schema-2 ServingReport as JSON (the CI "
+                        "artifact format)")
     p.set_defaults(func=_cmd_experiments)
     return parser
 

@@ -34,6 +34,10 @@ from repro.experiments.autoscale_study import (
     run_trace_study,
 )
 from repro.experiments.planning_study import run_fleet, run_study
+from repro.experiments.tenants_study import (
+    run_noisy_neighbour,
+    run_tenant_flash_crowd,
+)
 
 __all__ = [
     "common",
@@ -45,7 +49,9 @@ __all__ = [
     "run_straggler_study",
     "run_trace_study",
     "run_failure_study",
+    "run_noisy_neighbour",
     "run_slo_study",
+    "run_tenant_flash_crowd",
     "run_bandwidth_ablation",
     "run_dataflow_ablation",
     "run_estimation_error",

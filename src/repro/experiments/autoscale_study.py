@@ -49,6 +49,7 @@ from repro.serving import (
     ShardPool,
     ShardServer,
     TraceSource,
+    WorkloadSpec,
     load_trace,
     make_requests,
 )
@@ -154,12 +155,12 @@ def _serve(
     traffic,
     autoscale: Optional[AutoscalerOptions] = None,
 ) -> ServingReport:
-    server = ShardServer(
-        pool, "least-loaded",
-        BatcherOptions(max_batch=MAX_BATCH, max_wait_s=MAX_WAIT_S),
+    return ShardServer(pool).run(WorkloadSpec(
+        traffic=traffic,
+        policy="least-loaded",
+        batcher=BatcherOptions(max_batch=MAX_BATCH, max_wait_s=MAX_WAIT_S),
         autoscale=autoscale,
-    )
-    return server.serve(traffic)
+    ))
 
 
 def _rows(

@@ -43,6 +43,7 @@ from repro.serving import (
     SweepGrid,
     SweepOptions,
     SweepReport,
+    WorkloadSpec,
     make_requests,
     run_sweep,
     shape_arrivals,
@@ -95,11 +96,12 @@ def _serve(
             Request(index=request.index, arrival=arrival)
             for request, arrival in zip(requests, arrivals)
         ]
-    server = ShardServer(
-        pool, policy,
-        BatcherOptions(max_batch=MAX_BATCH, max_wait_s=MAX_WAIT_S),
-    )
-    return server.serve(requests, scenario=scenario)
+    return ShardServer(pool).run(WorkloadSpec(
+        traffic=requests,
+        policy=policy,
+        batcher=BatcherOptions(max_batch=MAX_BATCH, max_wait_s=MAX_WAIT_S),
+        scenario=scenario,
+    ))
 
 
 def run_straggler_study(

@@ -36,6 +36,7 @@ from repro.serving import (
     ShardPool,
     ShardServer,
     SloOptions,
+    WorkloadSpec,
     make_requests,
 )
 
@@ -79,12 +80,13 @@ def _serve(
     slo: Optional[SloOptions] = None,
 ) -> ServingReport:
     requests = make_requests("poisson", count, qps=qps, seed=seed)
-    server = ShardServer(
-        pool, policy,
-        BatcherOptions(max_batch=MAX_BATCH, max_wait_s=MAX_WAIT_S),
+    return ShardServer(pool).run(WorkloadSpec(
+        traffic=requests,
+        policy=policy,
+        batcher=BatcherOptions(max_batch=MAX_BATCH, max_wait_s=MAX_WAIT_S),
         slo=slo,
-    )
-    return server.serve(requests, scenario=scenario)
+        scenario=scenario,
+    ))
 
 
 def run_failure_study(

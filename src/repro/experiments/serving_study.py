@@ -31,6 +31,7 @@ from repro.serving import (
     ShardPool,
     ShardServer,
     ServingReport,
+    WorkloadSpec,
     make_requests,
 )
 
@@ -62,11 +63,11 @@ def _session(device_name: str, cache: EvaluationCache) -> PipelineSession:
 def _serve(pool: ShardPool, policy: str, qps: float,
            seed: int = 2020) -> ServingReport:
     requests = make_requests("poisson", REQUESTS, qps=qps, seed=seed)
-    server = ShardServer(
-        pool, policy,
-        BatcherOptions(max_batch=MAX_BATCH, max_wait_s=MAX_WAIT_S),
-    )
-    return server.serve(requests)
+    return ShardServer(pool).run(WorkloadSpec(
+        traffic=requests,
+        policy=policy,
+        batcher=BatcherOptions(max_batch=MAX_BATCH, max_wait_s=MAX_WAIT_S),
+    ))
 
 
 def run_replica_scaling(seed: int = 2020

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.errors import PlanningError
 from repro.serving.batcher import BatcherOptions
 from repro.serving.server import ShardServer
+from repro.serving.workload import WorkloadSpec
 from repro.serving.shard import Shard, ShardPool
 from repro.serving.traffic import Request
 
@@ -104,19 +105,18 @@ class _ReplayState:
         serial and process runs serialise identically."""
         pool = self.pool(job.counts)
         pool.reset()
-        server = ShardServer(
-            pool,
-            self.policy,
-            BatcherOptions(
-                max_batch=job.max_batch, max_wait_s=self.max_wait_s
-            ),
-        )
+        server = ShardServer(pool)
         # Tier B finalists are plain open-loop replays — exactly the
         # fast-forward engine's home turf, so engine="auto" selects it
         # and the row records which engine verified the plan.
-        report = server.serve(
-            list(self.requests), max_events=self.event_budget
-        )
+        report = server.run(WorkloadSpec(
+            traffic=list(self.requests),
+            policy=self.policy,
+            batcher=BatcherOptions(
+                max_batch=job.max_batch, max_wait_s=self.max_wait_s
+            ),
+            max_events=self.event_budget,
+        ))
         p99 = report.latency_percentile(99)
         weight = sum(
             count * self.kinds[kind_index].weight

@@ -57,6 +57,7 @@ from repro.serving.metrics import (
     ScaleEvent,
     ServingReport,
     ShardUsage,
+    TenantBreakdown,
     percentile,
 )
 from repro.serving.scenarios import (
@@ -70,11 +71,21 @@ from repro.serving.scheduler import (
     Scheduler,
     SchedulingPolicy,
     ShortestExpectedLatency,
+    WeightedFair,
     make_policy,
 )
 from repro.serving.server import ENGINES, ShardServer, analytical_reference
 from repro.serving.shard import Shard, ShardPool
 from repro.serving.slo import SLO_ACTIONS, SloController, SloOptions
+from repro.serving.tenancy import (
+    DEFAULT_TENANT,
+    TENANT_TIERS,
+    TenantSet,
+    TenantSpec,
+    assign_tenants,
+    parse_tenant,
+    parse_tenants,
+)
 from repro.serving.sweep import (
     SWEEP_EXECUTORS,
     SweepCell,
@@ -94,12 +105,15 @@ from repro.serving.traffic import (
     OpenLoopSource,
     Request,
     TraceSource,
+    load_tagged_trace,
     load_trace,
     make_requests,
+    merge_streams,
     parse_shape,
     shape_arrivals,
     shaped_trace,
 )
+from repro.serving.workload import WorkloadSpec
 
 __all__ = [
     "analytical_reference",
@@ -112,10 +126,12 @@ __all__ = [
     "CHAOS_KINDS",
     "ChaosScenario",
     "ClosedLoopClientPool",
+    "DEFAULT_TENANT",
     "Degrade",
     "Diurnal",
     "DynamicBatcher",
     "ENGINES",
+    "assign_tenants",
     "Event",
     "EventKernel",
     "EventSource",
@@ -126,13 +142,17 @@ __all__ = [
     "ineligible_reason",
     "Kill",
     "LeastLoaded",
+    "load_tagged_trace",
     "load_trace",
     "make_policy",
     "make_requests",
+    "merge_streams",
     "OpenLoopSource",
     "Outage",
     "parse_scenario",
     "parse_shape",
+    "parse_tenant",
+    "parse_tenants",
     "percentile",
     "POLICIES",
     "PolicyTick",
@@ -166,9 +186,15 @@ __all__ = [
     "SweepGrid",
     "SweepOptions",
     "SweepReport",
+    "TENANT_TIERS",
+    "TenantBreakdown",
+    "TenantSet",
+    "TenantSpec",
     "THINK_DISTRIBUTIONS",
     "TRACE_FIELDS",
     "TraceSource",
     "TRAFFIC_MODELS",
     "TRAFFIC_SHAPES",
+    "WeightedFair",
+    "WorkloadSpec",
 ]

@@ -32,14 +32,32 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Iterable, Iterator, List, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.errors import ServingError
 from repro.serving.events import Arrival, EventKernel, Flush
+from repro.serving.tenancy import TenantSet
 from repro.serving.traffic import OpenLoopSource, Request
 
 #: A dispatch callback: ``(kernel, flush_time, batch)``.
 DispatchFn = Callable[[EventKernel, float, List[Request]], None]
+
+#: An admission callback: ``(kernel, request) -> admitted?``.  Rejected
+#: requests never enter a queue — the callback owns the accounting and
+#: the source notification.
+AdmitFn = Callable[[EventKernel, Request], bool]
+
+#: Tenant-mixing modes of :class:`BatcherOptions`.
+TENANT_MODES = ("tier", "shared")
 
 
 @dataclass(frozen=True)
@@ -50,10 +68,18 @@ class BatcherOptions:
     batches amortise nothing here — instances are batch-parallel — but
     they do delay early requests behind late ones); ``max_wait_s``
     bounds how long the *oldest* request may wait for company.
+
+    ``tenant_mode`` governs multi-tenant coalescing: ``"tier"`` (the
+    default) keeps one queue per batch tier, so an interactive request
+    never waits out a bulk tenant's batch assembly — tenants of
+    *incompatible tiers are never mixed* in one batch; ``"shared"``
+    keeps the single pre-tenancy queue regardless of tenants.  With a
+    trivial tenant set the modes coincide (one tier, one queue).
     """
 
     max_batch: int = 8
     max_wait_s: float = 0.0
+    tenant_mode: str = "tier"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -63,6 +89,11 @@ class BatcherOptions:
         if self.max_wait_s < 0:
             raise ServingError(
                 f"max_wait_s must be >= 0, got {self.max_wait_s}"
+            )
+        if self.tenant_mode not in TENANT_MODES:
+            raise ServingError(
+                f"unknown tenant mode {self.tenant_mode!r}; "
+                f"expected one of {TENANT_MODES}"
             )
 
 
@@ -113,6 +144,80 @@ class _BatcherFeed:
         kernel.push(Flush(time=deadline, token=self.token))
 
 
+class _TenantBatcherFeed:
+    """Per-run batcher state with one queue per batch tier plus an
+    optional admission gate.
+
+    The per-queue flush logic is exactly :class:`_BatcherFeed`'s — size
+    trigger inline, wait trigger via a keyed :class:`Flush` wakeup whose
+    token invalidates stale firings — applied independently per tier,
+    so a bulk tenant's half-full batch never delays an interactive
+    request and tenants of incompatible tiers are never mixed.
+    Rejected (inadmissible) requests never enter any queue.
+    """
+
+    def __init__(
+        self,
+        options: BatcherOptions,
+        dispatch: DispatchFn,
+        tenants: TenantSet,
+        admit: Optional[AdmitFn] = None,
+    ):
+        self.options = options
+        self.dispatch = dispatch
+        self.tenants = tenants
+        self.admit = admit
+        self.queues: Dict[str, Deque[Tuple[float, Request]]] = {}
+        self.tokens: Dict[str, int] = {}
+
+    def _key(self, request: Request) -> str:
+        if self.options.tenant_mode == "shared":
+            return ""
+        return self.tenants.tier_of(request.tenant)
+
+    def on_arrival(self, kernel: EventKernel, event: Arrival) -> None:
+        request = event.request
+        if self.admit is not None and not self.admit(kernel, request):
+            return  # rejected at admission; the gate did the accounting
+        key = self._key(request)
+        queue = self.queues.setdefault(key, deque())
+        self.tokens.setdefault(key, 0)
+        queue.append((kernel.now, request))
+        if len(queue) >= self.options.max_batch:
+            self._flush(kernel, key)
+        elif len(queue) == 1:
+            self._schedule_wakeup(kernel, key)
+
+    def on_flush(self, kernel: EventKernel, event: Flush) -> None:
+        queue = self.queues.get(event.key)
+        if (
+            queue is None
+            or event.token != self.tokens[event.key]
+            or not queue
+        ):
+            return  # stale wakeup: its head already flushed by size
+        self._flush(kernel, event.key)
+
+    def _flush(self, kernel: EventKernel, key: str) -> None:
+        queue = self.queues[key]
+        batch: List[Request] = []
+        while (
+            queue
+            and len(batch) < self.options.max_batch
+            and queue[0][0] <= kernel.now
+        ):
+            batch.append(queue.popleft()[1])
+        self.tokens[key] += 1  # any pending wakeup for this key is stale
+        if queue:
+            self._schedule_wakeup(kernel, key)
+        if batch:
+            self.dispatch(kernel, kernel.now, batch)
+
+    def _schedule_wakeup(self, kernel: EventKernel, key: str) -> None:
+        deadline = self.queues[key][0][0] + self.options.max_wait_s
+        kernel.push(Flush(time=deadline, token=self.tokens[key], key=key))
+
+
 class DynamicBatcher:
     """Coalesces a request stream into dispatchable batches."""
 
@@ -120,14 +225,34 @@ class DynamicBatcher:
         self.options = options or BatcherOptions()
 
     def attach(
-        self, kernel: EventKernel, dispatch: DispatchFn
-    ) -> _BatcherFeed:
+        self,
+        kernel: EventKernel,
+        dispatch: DispatchFn,
+        tenants: Optional[TenantSet] = None,
+        admit: Optional[AdmitFn] = None,
+    ):
         """Register this batcher's handlers on ``kernel``.
 
         Returns the per-run feed (fresh state — one ``attach`` per
-        run); ``dispatch`` is called with every flushed batch.
+        run); ``dispatch`` is called with every flushed batch.  A
+        non-trivial ``tenants`` set (in ``tier`` mode) or an ``admit``
+        gate selects the tenant-aware feed; otherwise the single-queue
+        feed keeps the pre-tenancy event trace byte for byte.
         """
-        feed = _BatcherFeed(self.options, dispatch)
+        tiered = (
+            tenants is not None
+            and not tenants.trivial
+            and self.options.tenant_mode == "tier"
+        )
+        if tiered or admit is not None:
+            feed = _TenantBatcherFeed(
+                self.options,
+                dispatch,
+                tenants or TenantSet.default(),
+                admit,
+            )
+        else:
+            feed = _BatcherFeed(self.options, dispatch)
         kernel.subscribe(Arrival, feed.on_arrival)
         kernel.subscribe(Flush, feed.on_flush)
         return feed

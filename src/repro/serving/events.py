@@ -183,9 +183,15 @@ class Arrival(Event):
 @dataclass(frozen=True, slots=True)
 class Flush(Event):
     """A batcher wait-deadline wakeup; ``token`` marks it stale when the
-    queue head it was scheduled for has already flushed."""
+    queue head it was scheduled for has already flushed.
+
+    ``key`` routes the wakeup to one queue of a tenant-aware batcher
+    (queues are keyed by batch tier); the single-queue batcher keeps
+    the default empty key, so legacy event traces are unchanged.
+    """
 
     token: int = 0
+    key: str = ""
     priority: ClassVar[int] = 5
 
 

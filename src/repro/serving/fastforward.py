@@ -63,8 +63,10 @@ from repro.serving.scheduler import (
     LeastLoaded,
     RoundRobin,
     ShortestExpectedLatency,
+    WeightedFair,
 )
 from repro.serving.shard import Shard
+from repro.serving.tenancy import DEFAULT_TENANT
 from repro.serving.traffic import OpenLoopSource, TraceSource
 
 #: The kernel's default runaway budget (mirrored so the fast-forward
@@ -86,13 +88,20 @@ def ineligible_reason(server, source, scenario) -> Optional[str]:
         return "an SLO controller sheds/reroutes based on observed state"
     if server.autoscale is not None:
         return "an autoscaler resizes the pool based on observed state"
+    if not server.tenants.trivial:
+        return (
+            "a non-trivial tenant set routes, batches and sheds "
+            "per tenant"
+        )
+    if getattr(source, "tenanted", False):
+        return "the traffic carries non-default tenant tags"
     if type(source) not in (OpenLoopSource, TraceSource):
         return (
             f"source {type(source).__name__} is not a plain "
             "open-loop arrival stream"
         )
     if type(server.scheduler.policy) not in (
-        RoundRobin, LeastLoaded, ShortestExpectedLatency,
+        RoundRobin, LeastLoaded, ShortestExpectedLatency, WeightedFair,
     ):
         return (
             f"custom scheduling policy "
@@ -230,7 +239,11 @@ def fastforward_serve(
     per_image = [shard.probe_seconds() for shard in shards]
     instances = [shard.instances for shard in shards]
     policy = server.scheduler.policy
-    round_robin = type(policy) is RoundRobin
+    # Weighted-fair over the trivial tenant set (the only set that
+    # passes eligibility) is round-robin turn for turn: the single
+    # tenant's slice is the whole pool.
+    weighted = type(policy) is WeightedFair
+    round_robin = type(policy) is RoundRobin or weighted
     least_loaded = type(policy) is LeastLoaded
     analytical = (
         [shard.analytical_seconds() for shard in shards]
@@ -422,7 +435,9 @@ def fastforward_serve(
     # apart.
     for j, shard in enumerate(shards):
         shard.busy_until = busy[j]
-    if round_robin:
+    if weighted:
+        policy._next = {DEFAULT_TENANT: rotation}
+    elif round_robin:
         policy._next = rotation
 
     wall = time.perf_counter() - wall_start

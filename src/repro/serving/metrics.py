@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ServingError
+from repro.serving.tenancy import DEFAULT_TENANT
 
 
 @dataclass(frozen=True, slots=True)
@@ -30,6 +31,10 @@ class RequestRecord:
     assigned to a shard; ``started`` -> the shard began the batch
     (``> dispatched`` when the shard was still draining earlier work);
     ``completed`` -> the image's round-robin slot finished.
+
+    ``tenant`` stays the *last* field: the fast-forward engine builds
+    records positionally in bulk and default-tenant replays must not
+    pay for the tag.
     """
 
     index: int
@@ -39,6 +44,7 @@ class RequestRecord:
     completed: float
     shard: str
     batch_size: int
+    tenant: str = DEFAULT_TENANT
 
     @property
     def latency(self) -> float:
@@ -98,6 +104,55 @@ class ScaleEvent:
             raise ServingError(
                 f"scale event action must be up|down, got {self.action!r}"
             )
+
+
+@dataclass(frozen=True)
+class TenantBreakdown:
+    """One tenant's slice of a run (see :meth:`ServingReport.per_tenant`).
+
+    ``shed`` counts every dropped request of the tenant — SLO sheds
+    *plus* admission rejections; ``admission_shed`` is the admission
+    subset, so ``shed - admission_shed`` is what the SLO controller
+    dropped.  ``issued = count + shed + unserved`` and
+    :meth:`slo_attainment` uses it as the denominator, exactly like the
+    global figure.
+    """
+
+    tenant: str
+    count: int
+    shed: int
+    admission_shed: int
+    unserved: int
+    mean_latency_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+    slo_target_s: Optional[float] = None
+    #: Fraction of the tenant's issued requests served within its own
+    #: SLO target — ``None`` when the tenant declares no target.
+    slo_attainment: Optional[float] = None
+
+    @property
+    def issued(self) -> int:
+        return self.count + self.shed + self.unserved
+
+    def to_dict(self) -> Dict:
+        def safe(value: Optional[float]) -> Optional[float]:
+            if value is None:
+                return None
+            return None if value != value else value
+
+        return {
+            "count": self.count,
+            "shed": self.shed,
+            "admission_shed": self.admission_shed,
+            "unserved": self.unserved,
+            "issued": self.issued,
+            "mean_latency_s": safe(self.mean_latency_s),
+            "p50_latency_s": safe(self.p50_latency_s),
+            "p99_latency_s": safe(self.p99_latency_s),
+            "slo_target_s": safe(self.slo_target_s),
+            "slo_attainment": safe(self.slo_attainment),
+        }
 
 
 @dataclass(frozen=True)
@@ -163,6 +218,18 @@ class ServingReport:
     unserved: int = 0
     scale_events: List[ScaleEvent] = field(default_factory=list)
     shard_seconds: Optional[float] = None
+    #: Admission-control rejections — a *subset* of ``shed`` (``shed``
+    #: stays the total drop count, so the served+shed+unserved
+    #: accounting identity is unchanged by tenancy).
+    admission_shed: int = 0
+    #: Per-tenant drop/strand counts, populated only with nonzero
+    #: entries — single-tenant runs keep the empty dicts and stay
+    #: byte-identical to pre-tenancy reports.
+    shed_by_tenant: Dict[str, int] = field(default_factory=dict)
+    admission_shed_by_tenant: Dict[str, int] = field(default_factory=dict)
+    unserved_by_tenant: Dict[str, int] = field(default_factory=dict)
+    #: ``tenant -> p99 target`` for tenants that declared an SLO.
+    tenant_slo_targets: Dict[str, float] = field(default_factory=dict)
     events_processed: int = field(default=0, compare=False)
     wall_seconds: float = field(default=0.0, compare=False)
 
@@ -171,6 +238,11 @@ class ServingReport:
             raise ServingError(
                 "negative shed/reroute/unserved counts: "
                 f"{self.shed}/{self.rerouted}/{self.unserved}"
+            )
+        if not 0 <= self.admission_shed <= self.shed:
+            raise ServingError(
+                f"admission_shed ({self.admission_shed}) must be a "
+                f"subset of shed ({self.shed})"
             )
 
     # -- aggregate view ---------------------------------------------------
@@ -230,6 +302,63 @@ class ServingReport:
 
     def per_shard(self) -> Dict[str, ShardUsage]:
         return {usage.name: usage for usage in self.shards}
+
+    def tenants(self) -> List[str]:
+        """Every tenant the run touched (served, shed or stranded), in
+        deterministic sorted order with the default tenant first."""
+        names = {record.tenant for record in self.records}
+        names.update(self.shed_by_tenant)
+        names.update(self.unserved_by_tenant)
+        names.update(self.tenant_slo_targets)
+        if not names:
+            return []
+        return sorted(
+            names, key=lambda name: (name != DEFAULT_TENANT, name)
+        )
+
+    def per_tenant(self) -> Dict[str, TenantBreakdown]:
+        """Per-tenant breakdowns: counts, latency percentiles and each
+        tenant's own SLO attainment.  Sums are exhaustive — every
+        tenant's ``count``/``shed``/``unserved`` adds up to the global
+        accounting."""
+        grouped: Dict[str, List[float]] = {}
+        for record in self.records:
+            grouped.setdefault(record.tenant, []).append(record.latency)
+        breakdowns = {}
+        for name in self.tenants():
+            latencies = grouped.get(name, [])
+            target = self.tenant_slo_targets.get(name)
+            shed = self.shed_by_tenant.get(name, 0)
+            unserved = self.unserved_by_tenant.get(name, 0)
+            attainment = None
+            if target is not None:
+                issued = len(latencies) + shed + unserved
+                attainment = (
+                    sum(1 for value in latencies if value <= target)
+                    / issued if issued else 0.0
+                )
+            breakdowns[name] = TenantBreakdown(
+                tenant=name,
+                count=len(latencies),
+                shed=shed,
+                admission_shed=self.admission_shed_by_tenant.get(name, 0),
+                unserved=unserved,
+                mean_latency_s=(
+                    sum(latencies) / len(latencies)
+                    if latencies else float("nan")
+                ),
+                p50_latency_s=(
+                    percentile(latencies, 50)
+                    if latencies else float("nan")
+                ),
+                p99_latency_s=(
+                    percentile(latencies, 99)
+                    if latencies else float("nan")
+                ),
+                slo_target_s=target,
+                slo_attainment=attainment,
+            )
+        return breakdowns
 
     def slo_attainment(self, target_s: float) -> float:
         """The fraction of *issued* requests served within ``target_s``.
@@ -305,13 +434,25 @@ class ServingReport:
     def to_dict(self) -> Dict:
         """A JSON-safe summary (NaN statistics become ``None``) — the
         payload ``repro serve --report-json`` writes and CI uploads as
-        a workflow artifact."""
+        a workflow artifact.
+
+        ``schema`` versions the layout: schema 1 (pre-tenancy) was the
+        same flat dictionary without ``schema``, ``admission_shed`` and
+        ``tenants``; schema 2 adds them and changes nothing else, so
+        schema-1 consumers keep working on the flat fields.
+        """
 
         def safe(value: float) -> Optional[float]:
             return None if value != value else value
 
         return {
+            "schema": 2,
             "count": self.count,
+            "admission_shed": self.admission_shed,
+            "tenants": {
+                name: breakdown.to_dict()
+                for name, breakdown in self.per_tenant().items()
+            },
             "shed": self.shed,
             "rerouted": self.rerouted,
             "unserved": self.unserved,
@@ -366,18 +507,35 @@ class ServingReport:
         if not self.records:
             reasons = []
             if self.shed:
-                reasons.append(f"{self.shed} shed by the SLO controller")
+                slo_shed = self.shed - self.admission_shed
+                if slo_shed:
+                    reasons.append(
+                        f"{slo_shed} shed by the SLO controller"
+                    )
+                if self.admission_shed:
+                    reasons.append(
+                        f"{self.admission_shed} rejected at admission"
+                    )
             if self.rerouted:
                 reasons.append(f"{self.rerouted} rerouted")
             if self.unserved:
                 reasons.append(
                     f"{self.unserved} stranded by a shard outage"
                 )
-            return (
+            text = (
                 f"served 0 requests over {len(self.shards)} shard(s): "
                 "nothing completed"
                 + (f" ({', '.join(reasons)})" if reasons else "")
             )
+            if self.shed and not self.unserved:
+                # Without this note an --slo-p99 target over a stream
+                # that was dropped wholesale is a silent no-op: nothing
+                # completed, so no latency sample ever met the target.
+                text += (
+                    "\n  all requests shed: no request completed, so "
+                    "the p99 SLO was never evaluated"
+                )
+            return text
         latencies = self.latencies()
         lines = [
             f"served {self.count} requests over "
@@ -404,7 +562,10 @@ class ServingReport:
         # fired.
         slo_counts = []
         if self.shed:
-            slo_counts.append(f"{self.shed} request(s) shed")
+            shed_text = f"{self.shed} request(s) shed"
+            if self.admission_shed:
+                shed_text += f" ({self.admission_shed} at admission)"
+            slo_counts.append(shed_text)
         if self.rerouted:
             slo_counts.append(f"{self.rerouted} request(s) rerouted")
         if slo_counts:
@@ -414,6 +575,28 @@ class ServingReport:
                 f"  {self.unserved} request(s) left unserved by a "
                 "shard outage"
             )
+        breakdowns = self.per_tenant()
+        if len(breakdowns) > 1 or self.tenant_slo_targets:
+            for name, tenant in breakdowns.items():
+                p99 = tenant.p99_latency_s
+                line = (
+                    f"  tenant {name:12s} {tenant.count:5d} served, "
+                    f"{tenant.shed:4d} shed, {tenant.unserved:4d} "
+                    "unserved"
+                )
+                if p99 == p99:
+                    line += f", p99 {p99 * 1e3:.2f} ms"
+                if tenant.slo_target_s is not None:
+                    verdict = (
+                        "met" if p99 == p99
+                        and p99 <= tenant.slo_target_s else "MISSED"
+                    )
+                    line += (
+                        f" (target {tenant.slo_target_s * 1e3:.2f} ms "
+                        f"{verdict}, attainment "
+                        f"{(tenant.slo_attainment or 0.0) * 100:.1f}%)"
+                    )
+                lines.append(line)
         if self.scale_events:
             fixed = len(self.shards) * self.makespan_seconds
             lines.append(

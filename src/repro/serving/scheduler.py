@@ -23,7 +23,8 @@ deterministic and makes ``least-loaded`` bit-compatible with
 
 from __future__ import annotations
 
-from typing import List, Sequence, Union
+import math
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ServingError
 from repro.serving.events import (
@@ -34,9 +35,12 @@ from repro.serving.events import (
     ShardUp,
 )
 from repro.serving.shard import Shard
+from repro.serving.tenancy import DEFAULT_TENANT, TenantSet
 
 #: Policy names understood by :func:`make_policy` and the CLI.
-POLICIES = ("round-robin", "least-loaded", "shortest-latency")
+POLICIES = (
+    "round-robin", "least-loaded", "shortest-latency", "weighted-fair"
+)
 
 
 class SchedulingPolicy:
@@ -48,6 +52,17 @@ class SchedulingPolicy:
         self, shards: Sequence[Shard], batch_size: int, now: float
     ) -> int:
         raise NotImplementedError
+
+    def select_for(
+        self,
+        tenant: str,
+        shards: Sequence[Shard],
+        batch_size: int,
+        now: float,
+    ) -> int:
+        """Tenant-aware selection; tenant-blind policies delegate to
+        :meth:`select`, so the tag changes nothing for them."""
+        return self.select(shards, batch_size, now)
 
     def reset(self) -> None:
         """Forget per-run state (stateless policies: no-op)."""
@@ -88,12 +103,86 @@ class ShortestExpectedLatency(SchedulingPolicy):
         )
 
 
+class WeightedFair(SchedulingPolicy):
+    """Weight-proportional shard apportionment with per-tenant rotation.
+
+    Each tenant owns a contiguous *slice* of the candidate shard list,
+    sized by cumulative weight: with shards ``0..S-1`` and tenants of
+    weights ``w_1..w_n`` (total ``W``), tenant ``i`` owns indices
+    ``[floor(S * C_{i-1} / W), floor(S * C_i / W))`` where ``C_i`` is
+    the cumulative weight through tenant ``i`` — so a tenant of twice
+    the weight owns twice the shards (up to integer rounding) and a
+    flooding tenant saturates *its* slice while the other slices stay
+    quiet.  Within its slice each tenant round-robins with its own
+    rotation counter.  A tenant whose slice rounds to empty (more
+    tenants than shards) and any unregistered tenant fall back to
+    rotating over the whole candidate list.
+
+    With a single tenant the slice is the whole list and the rotation
+    is ``turn % len(shards)`` — *exactly* :class:`RoundRobin`, event
+    for event, which is the degeneracy the property suite pins.
+
+    Slices are recomputed per call from the *candidate* list the
+    scheduler passes (the shards currently up), so failures shrink
+    every tenant's slice proportionally instead of disabling the
+    policy.
+    """
+
+    name = "weighted-fair"
+
+    def __init__(self, tenants: Optional[TenantSet] = None):
+        self.tenants = tenants if tenants is not None else (
+            TenantSet.default()
+        )
+        self._next: Dict[str, int] = {}
+
+    def bind(self, tenants: Optional[TenantSet]) -> None:
+        """Adopt a workload's tenant set (fresh rotation state)."""
+        self.tenants = tenants if tenants is not None else (
+            TenantSet.default()
+        )
+        self._next = {}
+
+    def _slice(self, tenant: str, count: int) -> range:
+        total = self.tenants.total_weight
+        specs = list(self.tenants)
+        cumulative = 0.0
+        for position, spec in enumerate(specs):
+            low = math.floor(count * cumulative / total)
+            cumulative += spec.weight
+            # The last slice ends exactly at ``count``: the cumulative
+            # quotient is 1 in exact arithmetic but can land a hair
+            # under it in floats (e.g. 3 * 1.9 / 1.9), which would
+            # silently strand the tail shard.
+            high = count if position == len(specs) - 1 else (
+                math.floor(count * cumulative / total)
+            )
+            if spec.name == tenant:
+                if high <= low:
+                    return range(count)  # slice rounds to empty
+                return range(low, high)
+        return range(count)  # unregistered tenant: whole pool
+
+    def select(self, shards, batch_size, now) -> int:
+        return self.select_for(DEFAULT_TENANT, shards, batch_size, now)
+
+    def select_for(self, tenant, shards, batch_size, now) -> int:
+        indices = self._slice(tenant, len(shards))
+        turn = self._next.get(tenant, 0)
+        self._next[tenant] = turn + 1
+        return indices[turn % len(indices)]
+
+    def reset(self) -> None:
+        self._next = {}
+
+
 def make_policy(name: str) -> SchedulingPolicy:
     """Instantiate a policy by CLI name."""
     registry = {
         "round-robin": RoundRobin,
         "least-loaded": LeastLoaded,
         "shortest-latency": ShortestExpectedLatency,
+        "weighted-fair": WeightedFair,
     }
     if name not in registry:
         raise ServingError(
@@ -174,15 +263,19 @@ class Scheduler:
         """Forget per-run policy state (round-robin's rotation)."""
         self.policy.reset()
 
-    def assign(self, batch_size: int, now: float) -> Shard:
+    def assign(
+        self, batch_size: int, now: float, tenant: str = DEFAULT_TENANT
+    ) -> Shard:
         """The shard that should run a ``batch_size`` batch at ``now``.
 
         Only shards that are up are candidates; with every shard down
-        this raises (the server parks batches instead of calling in)."""
+        this raises (the server parks batches instead of calling in).
+        ``tenant`` reaches tenant-aware policies (weighted-fair);
+        tenant-blind policies ignore it."""
         shards = self.available()
         if not shards:
             raise ServingError("no shard available: the whole pool is down")
-        index = self.policy.select(shards, batch_size, now)
+        index = self.policy.select_for(tenant, shards, batch_size, now)
         if not 0 <= index < len(shards):
             raise ServingError(
                 f"policy {self.policy.name!r} selected shard {index} of "

@@ -43,8 +43,10 @@ with it to well under 1%.
 from __future__ import annotations
 
 import time
+import warnings
 from collections import deque
-from typing import Deque, Dict, List, Optional, Sequence, Union
+from dataclasses import replace
+from typing import Deque, Dict, List, Optional, Sequence, Set, Union
 
 from repro.errors import ServingError
 from repro.serving.autoscaler import AutoscalerController, AutoscalerOptions
@@ -65,10 +67,13 @@ from repro.serving.scheduler import (
     Scheduler,
     SchedulingPolicy,
     ShortestExpectedLatency,
+    WeightedFair,
 )
 from repro.serving.shard import Shard, ShardPool
 from repro.serving.slo import SloController, SloOptions
+from repro.serving.tenancy import TenantSet
 from repro.serving.traffic import OpenLoopSource, Request
+from repro.serving.workload import ENGINES, WorkloadSpec
 
 #: What ``serve`` accepts: an open-loop request list or one event
 #: source.  One source per run: request indices are the identity that
@@ -82,11 +87,14 @@ Traffic = Union[Sequence[Request], EventSource]
 #: events onto the kernel, so the server treats them identically.
 Scenario = Union[FailureScenario, ChaosScenario]
 
-#: Replay engines ``serve`` understands.  ``auto`` picks the
-#: fast-forward recurrence whenever the run is a plain open-loop
-#: replay (see :func:`~repro.serving.fastforward.ineligible_reason`)
-#: and the event kernel otherwise; the explicit names force one path.
-ENGINES = ("auto", "kernel", "fastforward")
+__all__ = [
+    "ENGINES",
+    "Scenario",
+    "ShardServer",
+    "Traffic",
+    "WorkloadSpec",
+    "analytical_reference",
+]
 
 
 class _Usage:
@@ -120,8 +128,11 @@ class _ServeRun:
         self.scenario = scenario
         self.max_events = max_events
         self.kernel = EventKernel()
+        self.tenants = server.tenants
+        tenant_targets = self.tenants.slo_targets()
         self.slo = (
-            SloController(server.slo) if server.slo is not None else None
+            SloController(server.slo, self.tenants)
+            if server.slo is not None or tenant_targets else None
         )
         self.autoscaler = (
             AutoscalerController(server.autoscale)
@@ -141,6 +152,19 @@ class _ServeRun:
         self.total_ops = 0
         self.shed = 0
         self.rerouted = 0
+        self.admission_shed = 0
+        self.shed_by_tenant: Dict[str, int] = {}
+        self.admission_by_tenant: Dict[str, int] = {}
+        #: Admission control: per-tenant caps on outstanding (admitted,
+        #: not yet completed) requests.  ``_admitted`` remembers which
+        #: indices hold an admission slot so a failure re-delivery of
+        #: an admitted request is never re-gated (and never
+        #: double-counted).
+        self.caps = self.tenants.admission_caps()
+        self.outstanding: Dict[str, int] = {
+            name: 0 for name in self.caps
+        }
+        self._admitted: Set[int] = set()
         self._reroute_policy = ShortestExpectedLatency()
         self.parked: List[List[Request]] = []
 
@@ -155,7 +179,12 @@ class _ServeRun:
         # availability first, then the server reworks in-flight /
         # parked batches against the new availability.
         server.scheduler.attach(kernel)
-        server.batcher.attach(kernel, self._dispatch)
+        server.batcher.attach(
+            kernel,
+            self._dispatch,
+            self.tenants,
+            self._admit if self.caps else None,
+        )
         kernel.subscribe(BatchDone, self._on_batch_done)
         kernel.subscribe(ShardDown, self._on_shard_down)
         kernel.subscribe(ShardUp, self._on_shard_up)
@@ -181,21 +210,82 @@ class _ServeRun:
         wall = time.perf_counter() - start
         return self._report(processed, wall)
 
+    # -- admission path ---------------------------------------------------
+
+    def _admit(self, kernel: EventKernel, request: Request) -> bool:
+        """Admission gate the batcher runs per arrival: a tenant at its
+        outstanding-request cap has the request rejected *here*, before
+        it ever occupies a queue — a first-class shed reason, counted
+        separately from SLO sheds."""
+        cap = self.caps.get(request.tenant)
+        if cap is None:
+            return True
+        if request.index in self._admitted:
+            return True  # failure re-delivery: its slot is still held
+        if self.outstanding[request.tenant] >= cap:
+            self.shed += 1
+            self.admission_shed += 1
+            self._count_shed(self.shed_by_tenant, [request])
+            self._count_shed(self.admission_by_tenant, [request])
+            self.source.on_shed(kernel, [request], kernel.now)
+            return False
+        self.outstanding[request.tenant] += 1
+        self._admitted.add(request.index)
+        return True
+
+    def _release(self, requests: Sequence) -> None:
+        """Give back the admission slots of completed/shed requests
+        (accepts records or requests — both carry index + tenant)."""
+        if not self._admitted:
+            return
+        for request in requests:
+            if request.index in self._admitted:
+                self._admitted.discard(request.index)
+                self.outstanding[request.tenant] -= 1
+
+    @staticmethod
+    def _count_shed(
+        counts: Dict[str, int], requests: Sequence[Request]
+    ) -> None:
+        for request in requests:
+            counts[request.tenant] = counts.get(request.tenant, 0) + 1
+
     # -- dispatch path ----------------------------------------------------
 
     def _dispatch(
         self, kernel: EventKernel, at: float, batch: List[Request]
     ) -> None:
-        if self.slo is not None and self.slo.should_shed():
-            self.shed += len(batch)
-            self.source.on_shed(kernel, batch, at)
-            return
+        if self.slo is not None:
+            if self.slo.should_shed():
+                self.shed += len(batch)
+                self._count_shed(self.shed_by_tenant, batch)
+                self._release(batch)
+                self.source.on_shed(kernel, batch, at)
+                return
+            breached = self.slo.breached_tenants()
+            if breached:
+                # Per-tenant shed is surgical: only the breached
+                # tenants' requests drop, the rest of the batch
+                # proceeds — the batch tier degrades while the
+                # interactive tier keeps its SLO.
+                dropped = [r for r in batch if r.tenant in breached]
+                if dropped:
+                    batch = [r for r in batch if r.tenant not in breached]
+                    self.shed += len(dropped)
+                    self._count_shed(self.shed_by_tenant, dropped)
+                    self._release(dropped)
+                    self.source.on_shed(kernel, dropped, at)
+                    if not batch:
+                        return
         scheduler = self.server.scheduler
         available = scheduler.available()
         if not available:
             self.parked.append(batch)
             return
-        shard = scheduler.assign(len(batch), at)
+        # Tenant-aware policies see the batch's head tenant — batches
+        # never mix tiers, and within a tier the head is the oldest
+        # queued request, so attribution is deterministic.
+        shard = scheduler.assign(len(batch), at, batch[0].tenant)
         if self.slo is not None and self.slo.should_reroute():
             # Reroute = override the configured policy with the
             # expected-completion ranking (the shortest-latency policy
@@ -255,6 +345,7 @@ class _ServeRun:
                     del pending[position]
                     break
         self.records.extend(event.records)
+        self._release(event.records)
         usage = self.usage[event.shard]
         usage.requests += len(event.records)
         usage.busy_seconds += event.busy_delta
@@ -286,7 +377,9 @@ class _ServeRun:
             kernel.push(
                 Arrival(
                     time=kernel.now,
-                    request=Request(record.index, record.arrival),
+                    request=Request(
+                        record.index, record.arrival, record.tenant
+                    ),
                 )
             )
 
@@ -339,7 +432,9 @@ class _ServeRun:
             kernel.push(
                 Arrival(
                     time=kernel.now,
-                    request=Request(record.index, record.arrival),
+                    request=Request(
+                        record.index, record.arrival, record.tenant
+                    ),
                 )
             )
 
@@ -350,6 +445,9 @@ class _ServeRun:
     ) -> ServingReport:
         self.records.sort(key=lambda record: record.index)
         unserved = sum(len(batch) for batch in self.parked)
+        unserved_by_tenant: Dict[str, int] = {}
+        for batch in self.parked:
+            self._count_shed(unserved_by_tenant, batch)
         spans = {}
         scale_events = []
         shard_seconds = None
@@ -393,27 +491,65 @@ class _ServeRun:
             unserved=unserved,
             scale_events=scale_events,
             shard_seconds=shard_seconds,
+            admission_shed=self.admission_shed,
+            shed_by_tenant=self.shed_by_tenant,
+            admission_shed_by_tenant=self.admission_by_tenant,
+            unserved_by_tenant=unserved_by_tenant,
+            tenant_slo_targets=self.tenants.slo_targets(),
             events_processed=events_processed,
             wall_seconds=wall_seconds,
         )
 
 
 class ShardServer:
-    """Serve a finite traffic workload over a shard pool."""
+    """Serve finite traffic workloads over a shard pool.
+
+    The server holds the pool plus one :class:`WorkloadSpec` — the
+    template every run starts from.  :meth:`run` consumes a full spec;
+    :meth:`serve` is a thin shim that fills the template's traffic /
+    scenario / engine / budget fields from its kwargs, so existing
+    call sites keep working unchanged.  The knob-per-argument
+    constructor (``policy``/``batcher``/``slo``/``autoscale``) is
+    deprecated — it builds the equivalent spec and stays
+    event-identical, but new code should pass ``spec=``.
+    """
 
     def __init__(
         self,
         pool: ShardPool,
-        policy: Union[str, SchedulingPolicy] = "round-robin",
+        policy: Optional[Union[str, SchedulingPolicy]] = None,
         batcher: Optional[BatcherOptions] = None,
         slo: Optional[SloOptions] = None,
         autoscale: Optional[AutoscalerOptions] = None,
+        *,
+        spec: Optional[WorkloadSpec] = None,
     ):
+        if (
+            policy is not None or batcher is not None
+            or slo is not None or autoscale is not None
+        ):
+            if spec is not None:
+                raise ServingError(
+                    "pass a WorkloadSpec OR the legacy "
+                    "policy/batcher/slo/autoscale knobs, not both"
+                )
+            warnings.warn(
+                "ShardServer(pool, policy, batcher, slo, autoscale) is "
+                "deprecated; pass "
+                "ShardServer(pool, spec=WorkloadSpec(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            spec = WorkloadSpec(
+                policy=policy if policy is not None else "round-robin",
+                batcher=batcher,
+                slo=slo,
+                autoscale=autoscale,
+            )
         self.pool = pool
-        self.scheduler = Scheduler(pool.shards, policy)
-        self.batcher = DynamicBatcher(batcher)
-        self.slo = slo
-        self.autoscale = autoscale
+        self.scheduler: Optional[Scheduler] = None
+        self.batcher: Optional[DynamicBatcher] = None
+        self._configure(spec if spec is not None else WorkloadSpec())
         #: The controllers of the most recent run (windowed estimates,
         #: tick counters, scale decisions), for inspection/printing.
         self.last_slo_controller: Optional[SloController] = None
@@ -423,48 +559,63 @@ class ShardServer:
         #: run) — the non-silent accounting sweeps and planners record.
         self.last_engine: Optional[str] = None
 
-    def serve(
-        self,
-        traffic: Traffic,
-        scenario: Optional[Scenario] = None,
-        max_events: Optional[int] = None,
-        engine: str = "auto",
-    ) -> ServingReport:
-        """Run one workload; returns the aggregate report.
+    def _configure(self, spec: WorkloadSpec) -> None:
+        """Adopt ``spec``: rebuild only the machinery whose options
+        actually changed, so back-to-back runs with one spec keep the
+        same scheduler/policy objects (their post-run state — e.g. the
+        fast-forward engine's mirrored rotation — stays inspectable).
+        """
+        self.spec = spec
+        self.tenants: TenantSet = spec.tenant_set()
+        policy = spec.policy
+        if isinstance(policy, SchedulingPolicy):
+            if self.scheduler is None or (
+                self.scheduler.policy is not policy
+            ):
+                self.scheduler = Scheduler(self.pool.shards, policy)
+        elif self.scheduler is None or (
+            self.scheduler.policy.name != policy
+        ):
+            self.scheduler = Scheduler(self.pool.shards, policy)
+        if isinstance(self.scheduler.policy, WeightedFair):
+            self.scheduler.policy.bind(self.tenants)
+        options = spec.batcher or BatcherOptions()
+        if self.batcher is None or self.batcher.options != options:
+            self.batcher = DynamicBatcher(options)
+        self.slo = spec.slo
+        self.autoscale = spec.autoscale
 
-        ``traffic`` is a request list (open loop) or exactly one
-        :class:`~repro.serving.events.EventSource`.  The pool's
-        virtual timelines, the policy's per-run state and the source's
-        per-run state are reset first, so back-to-back ``serve`` calls
-        measure independent runs (the timing probes stay warm).
-        ``max_events`` raises the kernel's runaway-loop budget for
-        legitimately large workloads (an open-loop run costs roughly
-        three events per request: arrival, flush, completion) and
-        bounds the fast-forward path's *equivalent* event count the
-        same way.
+    def run(self, spec: WorkloadSpec) -> ServingReport:
+        """Serve one fully-specified workload; returns the report.
 
-        ``engine`` selects the replay path: ``"auto"`` (default)
-        fast-forwards plain open-loop runs and falls back to the
-        event kernel whenever anything can react to observed state;
-        ``"kernel"`` forces the kernel; ``"fastforward"`` forces the
-        recurrence and raises on ineligible configurations rather
-        than silently changing semantics.  Both engines produce
+        The spec must carry traffic; every other field falls back to
+        its default.  The pool's virtual timelines, the policy's
+        per-run state and the source's per-run state are reset first,
+        so back-to-back runs measure independent workloads.
+
+        The spec's ``engine`` selects the replay path: ``"auto"``
+        fast-forwards plain open-loop runs and falls back to the event
+        kernel whenever anything can react to observed state (tenancy
+        included); ``"kernel"`` forces the kernel; ``"fastforward"``
+        forces the recurrence and raises on ineligible configurations
+        rather than silently changing semantics.  Both engines produce
         byte-identical reports (wall-clock fields aside) —
         :attr:`last_engine` records which one ran.
         """
-        if engine not in ENGINES:
+        if spec.traffic is None:
             raise ServingError(
-                f"unknown serve engine {engine!r}; "
-                f"expected one of {ENGINES}"
+                "workload spec has no traffic to serve; build one with "
+                "spec.with_traffic(...)"
             )
-        source = self._source(traffic)
-        if engine == "kernel":
+        self._configure(spec)
+        source = self._source(spec.traffic)
+        if spec.engine == "kernel":
             chosen = "kernel"
         else:
-            reason = ineligible_reason(self, source, scenario)
+            reason = ineligible_reason(self, source, spec.scenario)
             if reason is None:
                 chosen = "fastforward"
-            elif engine == "fastforward":
+            elif spec.engine == "fastforward":
                 raise ServingError(
                     "engine='fastforward' requires a plain open-loop "
                     f"run: {reason}"
@@ -475,11 +626,42 @@ class ShardServer:
         if chosen == "fastforward":
             self.last_slo_controller = None
             self.last_autoscaler = None
-            return fastforward_serve(self, source, max_events)
-        run = _ServeRun(self, source, scenario, max_events)
+            return fastforward_serve(self, source, spec.max_events)
+        run = _ServeRun(self, source, spec.scenario, spec.max_events)
         self.last_slo_controller = run.slo
         self.last_autoscaler = run.autoscaler
         return run.execute()
+
+    def serve(
+        self,
+        traffic: Traffic,
+        scenario: Optional[Scenario] = None,
+        max_events: Optional[int] = None,
+        engine: str = "auto",
+    ) -> ServingReport:
+        """Run one workload; returns the aggregate report.
+
+        A thin shim over :meth:`run`: the server's spec is copied with
+        this call's ``traffic``/``scenario``/``max_events``/``engine``
+        filled in (the copy revalidates eagerly, so e.g. a scenario
+        against an autoscaled spec fails here, not mid-run).
+
+        ``traffic`` is a request list (open loop) or exactly one
+        :class:`~repro.serving.events.EventSource`; ``max_events``
+        raises the kernel's runaway-loop budget for legitimately large
+        workloads (an open-loop run costs roughly three events per
+        request: arrival, flush, completion) and bounds the
+        fast-forward path's *equivalent* event count the same way.
+        """
+        return self.run(
+            replace(
+                self.spec,
+                traffic=traffic,
+                scenario=scenario,
+                max_events=max_events,
+                engine=engine,
+            )
+        )
 
     @staticmethod
     def _source(traffic: Traffic) -> EventSource:

@@ -163,6 +163,7 @@ class Shard:
                     completed=start + offset,
                     shard=self.name,
                     batch_size=len(batch),
+                    tenant=request.tenant,
                 )
             )
         self.busy_until = records[-1].completed

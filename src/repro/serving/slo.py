@@ -34,11 +34,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional
+from typing import Deque, Dict, FrozenSet, Optional
 
 from repro.errors import ServingError
 from repro.serving.events import BatchDone, EventKernel, PolicyTick
 from repro.serving.metrics import percentile
+from repro.serving.tenancy import TenantSet
 
 #: Actions understood by :class:`SloOptions` and the CLI.
 SLO_ACTIONS = ("shed", "reroute")
@@ -94,18 +95,59 @@ class SloOptions:
 
 
 class SloController:
-    """Windowed-p99 feedback controller as a kernel event handler."""
+    """Windowed-p99 feedback controller as a kernel event handler.
 
-    def __init__(self, options: SloOptions):
+    Generalised over tenants: next to the global window the controller
+    keeps one observation window *per tenant that declares its own p99
+    target* (see :class:`~repro.serving.tenancy.TenantSpec`), all
+    re-evaluated on the same tick chain.  A breached tenant's
+    dispatches are shed individually — the batch tier degrades while
+    the interactive tier keeps its SLO — independent of the global
+    target's configured action.  With no tenant targets the controller
+    is exactly the pre-tenancy one, tick for tick.
+    """
+
+    def __init__(
+        self,
+        options: Optional[SloOptions],
+        tenants: Optional[TenantSet] = None,
+    ):
         self.options = options
-        self._window: Deque[float] = deque(maxlen=options.window)
+        self.tenant_targets: Dict[str, float] = (
+            tenants.slo_targets() if tenants is not None else {}
+        )
+        if options is None and not self.tenant_targets:
+            raise ServingError(
+                "an SLO controller needs a global target or at least "
+                "one per-tenant target"
+            )
+        window = options.window if options is not None else 64
+        self.min_samples = options.min_samples if options is not None else 8
+        self._window: Deque[float] = deque(maxlen=window)
+        self._tenant_windows: Dict[str, Deque[float]] = {
+            name: deque(maxlen=window) for name in self.tenant_targets
+        }
         self.breached = False
+        self.tenant_breached: Dict[str, bool] = {
+            name: False for name in self.tenant_targets
+        }
         self.ticks = 0
         self.breach_ticks = 0
+        self.tenant_breach_ticks: Dict[str, int] = {
+            name: 0 for name in self.tenant_targets
+        }
 
     #: ``PolicyTick.owner`` tag of this controller's heartbeats; other
     #: controllers' ticks (e.g. the autoscaler's) are ignored.
     TICK_OWNER = "slo"
+
+    @property
+    def effective_tick_s(self) -> float:
+        """Control period: from the global options, or Nyquist for the
+        tightest per-tenant target when no global SLO is set."""
+        if self.options is not None:
+            return self.options.effective_tick_s
+        return min(self.tenant_targets.values()) / 2.0
 
     def attach(self, kernel: EventKernel) -> None:
         """Subscribe the observation + heartbeat handlers and start the
@@ -114,7 +156,7 @@ class SloController:
         kernel.subscribe(PolicyTick, self._on_tick)
         kernel.push(
             PolicyTick(
-                time=kernel.now + self.options.effective_tick_s,
+                time=kernel.now + self.effective_tick_s,
                 owner=self.TICK_OWNER,
             )
         )
@@ -124,6 +166,9 @@ class SloController:
     def _on_batch_done(self, kernel: EventKernel, event: BatchDone) -> None:
         for record in event.records:
             self._window.append(record.latency)
+            window = self._tenant_windows.get(record.tenant)
+            if window is not None:
+                window.append(record.latency)
 
     def p99_estimate(self) -> float:
         """Nearest-rank p99 over the observation window (NaN when
@@ -132,13 +177,23 @@ class SloController:
             return float("nan")
         return percentile(list(self._window), 99)
 
+    def tenant_p99_estimate(self, tenant: str) -> float:
+        """Nearest-rank p99 over one tenant's window (NaN when empty)."""
+        window = self._tenant_windows.get(tenant)
+        if not window:
+            return float("nan")
+        return percentile(list(window), 99)
+
     # -- control ----------------------------------------------------------
 
     def _on_tick(self, kernel: EventKernel, event: PolicyTick) -> None:
         if event.owner != self.TICK_OWNER:
             return  # another controller's heartbeat
         self.ticks += 1
-        if len(self._window) >= self.options.min_samples:
+        if (
+            self.options is not None
+            and len(self._window) >= self.min_samples
+        ):
             self.breached = (
                 self.p99_estimate() > self.options.p99_target_s
             )
@@ -146,27 +201,76 @@ class SloController:
             self.breached = False
         if self.breached:
             self.breach_ticks += 1
+        for name, target in self.tenant_targets.items():
+            window = self._tenant_windows[name]
+            breached = (
+                len(window) >= self.min_samples
+                and self.tenant_p99_estimate(name) > target
+            )
+            self.tenant_breached[name] = breached
+            if breached:
+                self.tenant_breach_ticks[name] += 1
         # Keep ticking only while the system still has non-tick events
         # in flight — the chain ends itself when the run drains.
         if kernel.pending() - kernel.pending(PolicyTick) > 0:
             kernel.push(
                 PolicyTick(
-                    time=kernel.now + self.options.effective_tick_s,
+                    time=kernel.now + self.effective_tick_s,
                     owner=self.TICK_OWNER,
                 )
             )
 
     def should_shed(self) -> bool:
-        return self.breached and self.options.action == "shed"
+        return (
+            self.breached
+            and self.options is not None
+            and self.options.action == "shed"
+        )
 
     def should_reroute(self) -> bool:
-        return self.breached and self.options.action == "reroute"
+        return (
+            self.breached
+            and self.options is not None
+            and self.options.action == "reroute"
+        )
+
+    def breached_tenants(self) -> FrozenSet[str]:
+        """The tenants whose own p99 target is currently breached —
+        their dispatches are shed while the rest of the batch
+        proceeds."""
+        if not self.tenant_targets:
+            return frozenset()
+        return frozenset(
+            name for name, breached in self.tenant_breached.items()
+            if breached
+        )
 
     def describe(self) -> str:
         p99 = self.p99_estimate()
         estimate = f"{p99 * 1e3:.2f} ms" if p99 == p99 else "n/a"
-        return (
-            f"slo: p99 target {self.options.p99_target_s * 1e3:.2f} ms, "
-            f"action {self.options.action}, windowed estimate {estimate}, "
-            f"{self.breach_ticks}/{self.ticks} ticks breached"
-        )
+        if self.options is not None:
+            lines = [
+                f"slo: p99 target "
+                f"{self.options.p99_target_s * 1e3:.2f} ms, "
+                f"action {self.options.action}, "
+                f"windowed estimate {estimate}, "
+                f"{self.breach_ticks}/{self.ticks} ticks breached"
+            ]
+        else:
+            lines = [
+                f"slo: per-tenant targets only, windowed estimate "
+                f"{estimate}, {self.ticks} ticks"
+            ]
+        for name, target in self.tenant_targets.items():
+            tenant_p99 = self.tenant_p99_estimate(name)
+            tenant_estimate = (
+                f"{tenant_p99 * 1e3:.2f} ms"
+                if tenant_p99 == tenant_p99 else "n/a"
+            )
+            lines.append(
+                f"  tenant {name}: target {target * 1e3:.2f} ms, "
+                f"estimate {tenant_estimate}, "
+                f"{self.tenant_breach_ticks[name]}/{self.ticks} "
+                "ticks breached"
+            )
+        return "\n".join(lines)

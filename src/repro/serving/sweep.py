@@ -34,6 +34,7 @@ from repro.serving.batcher import BatcherOptions
 from repro.serving.chaos import parse_scenario
 from repro.serving.scheduler import POLICIES
 from repro.serving.server import ShardServer
+from repro.serving.workload import WorkloadSpec
 from repro.serving.shard import ShardPool
 from repro.serving.slo import SLO_ACTIONS, SloOptions
 from repro.serving.traffic import (
@@ -308,19 +309,20 @@ class _SweepState:
             SloOptions(p99_target_s=target, action=options.slo_action)
             if options.slo_action is not None else None
         )
-        server = ShardServer(
-            pool, cell.policy,
-            BatcherOptions(max_batch=max_batch,
-                           max_wait_s=options.max_wait_s),
-            slo=slo,
-        )
+        server = ShardServer(pool)
         # engine="auto": scenario-free, controller-free cells ride the
         # fast-forward recurrence; anything reactive falls back to the
         # kernel, and the cell records which engine ran so a fallback
         # is visible in the report, never silent.
-        report = server.serve(
-            requests, scenario=scenario, max_events=options.event_budget
-        )
+        report = server.run(WorkloadSpec(
+            traffic=requests,
+            policy=cell.policy,
+            batcher=BatcherOptions(max_batch=max_batch,
+                                   max_wait_s=options.max_wait_s),
+            slo=slo,
+            scenario=scenario,
+            max_events=options.event_budget,
+        ))
         issued = len(requests)
         latencies = report.latencies()
         within = {

@@ -34,12 +34,13 @@ import json
 import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.errors import ServingError
 from repro.serving.events import Arrival, BatchDone, EventKernel, EventSource
+from repro.serving.tenancy import DEFAULT_TENANT, TenantSet, split_clients
 
 #: Traffic models understood by :func:`make_requests` and the CLI.
 TRAFFIC_MODELS = ("uniform", "fixed-qps", "poisson", "burst")
@@ -50,16 +51,24 @@ THINK_DISTRIBUTIONS = ("fixed", "exponential")
 
 @dataclass(frozen=True, slots=True)
 class Request:
-    """One inference request: an identity and a virtual arrival time."""
+    """One inference request: an identity, a virtual arrival time and
+    the tenant it belongs to (untagged construction sites keep working
+    — they mint :data:`~repro.serving.tenancy.DEFAULT_TENANT`
+    requests)."""
 
     index: int
     arrival: float
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
             raise ServingError(
                 f"request {self.index}: arrival must be >= 0, "
                 f"got {self.arrival}"
+            )
+        if not self.tenant:
+            raise ServingError(
+                f"request {self.index}: tenant must be non-empty"
             )
 
 
@@ -104,10 +113,15 @@ def make_requests(
     qps: Optional[float] = None,
     seed: int = 2020,
     burst: int = 8,
+    tenant: str = DEFAULT_TENANT,
 ) -> List[Request]:
     """Requests of one traffic ``model``, sorted by arrival time.
 
-    ``qps`` is required by every model except ``uniform``.
+    ``qps`` is required by every model except ``uniform``.  ``tenant``
+    tags every minted request with one tenant — build one stream per
+    tenant and combine with :func:`merge_streams` for a mix, or tag a
+    single stream weight-proportionally with
+    :func:`~repro.serving.tenancy.assign_tenants`.
     """
     if model == "uniform":
         arrivals = uniform_arrivals(count)
@@ -126,8 +140,29 @@ def make_requests(
             f"expected one of {TRAFFIC_MODELS}"
         )
     return [
-        Request(index=index, arrival=float(arrival))
+        Request(index=index, arrival=float(arrival), tenant=tenant)
         for index, arrival in enumerate(arrivals)
+    ]
+
+
+def merge_streams(*streams: Sequence[Request]) -> List[Request]:
+    """Merge per-tenant request lists into one globally-indexed stream.
+
+    The input lists keep their tenant tags and arrival instants; the
+    merge sorts by ``(arrival, tenant, original index)`` — fully
+    deterministic — and re-mints sequential indices, because request
+    indices are the identity that keys completion bookkeeping and two
+    independent streams would collide.
+    """
+    merged = sorted(
+        (request for stream in streams for request in stream),
+        key=lambda r: (r.arrival, r.tenant, r.index),
+    )
+    if not merged:
+        raise ServingError("nothing to merge: every stream is empty")
+    return [
+        Request(index=index, arrival=request.arrival, tenant=request.tenant)
+        for index, request in enumerate(merged)
     ]
 
 
@@ -145,6 +180,11 @@ class OpenLoopSource(EventSource):
         if not requests:
             raise ServingError("nothing to serve: empty request stream")
         self.requests = sorted(requests, key=lambda r: (r.arrival, r.index))
+        #: True when any request carries a non-default tenant tag —
+        #: precomputed so fast-forward eligibility gating stays O(1).
+        self.tenanted = any(
+            request.tenant != DEFAULT_TENANT for request in self.requests
+        )
 
     def prime(self, kernel: EventKernel) -> None:
         for request in self.requests:
@@ -153,6 +193,9 @@ class OpenLoopSource(EventSource):
 
 #: Column/key names :func:`load_trace` accepts for the arrival instant.
 TRACE_FIELDS = ("timestamp", "arrival", "time", "ts")
+
+#: Column/key name carrying a request's tenant tag in tagged traces.
+TRACE_TENANT_FIELD = "tenant"
 
 
 def load_trace(path: Union[str, Path]) -> List[float]:
@@ -170,7 +213,20 @@ def load_trace(path: Union[str, Path]) -> List[float]:
       ignored).
 
     Timestamps may be epoch-based: :class:`TraceSource` rebases them to
-    the earliest arrival before replaying.
+    the earliest arrival before replaying.  An optional ``tenant``
+    column/key tags each arrival with a traffic class —
+    :func:`load_tagged_trace` returns the tags alongside the instants.
+    """
+    return [value for value, _tenant in load_tagged_trace(path)]
+
+
+def load_tagged_trace(
+    path: Union[str, Path],
+) -> List[Tuple[float, str]]:
+    """``(arrival, tenant)`` pairs from a trace file.
+
+    Same formats as :func:`load_trace`; entries without a ``tenant``
+    column/key belong to :data:`~repro.serving.tenancy.DEFAULT_TENANT`.
     """
     path = Path(path)
     try:
@@ -201,9 +257,22 @@ def _trace_value(path: Path, line: int, raw: object) -> float:
     return value
 
 
-def _trace_entry(path: Path, position: int, doc: object) -> float:
-    """One JSONL/JSON entry: a bare number or a TRACE_FIELDS object."""
+def _trace_tenant(path: Path, line: int, raw: object) -> str:
+    tenant = str(raw).strip()
+    if not tenant:
+        raise ServingError(
+            f"trace {path} line {line}: tenant tag must be non-empty"
+        )
+    return tenant
+
+
+def _trace_entry(path: Path, position: int, doc: object) -> Tuple[float, str]:
+    """One JSONL/JSON entry: a bare number or a TRACE_FIELDS object,
+    optionally tagged with a ``tenant`` key."""
+    tenant = DEFAULT_TENANT
     if isinstance(doc, dict):
+        if TRACE_TENANT_FIELD in doc:
+            tenant = _trace_tenant(path, position, doc[TRACE_TENANT_FIELD])
         for key in TRACE_FIELDS:
             if key in doc:
                 doc = doc[key]
@@ -213,10 +282,10 @@ def _trace_entry(path: Path, position: int, doc: object) -> float:
                 f"trace {path} entry {position}: no timestamp key "
                 f"(expected one of {TRACE_FIELDS})"
             )
-    return _trace_value(path, position, doc)
+    return _trace_value(path, position, doc), tenant
 
 
-def _parse_jsonl_trace(path: Path, text: str) -> List[float]:
+def _parse_jsonl_trace(path: Path, text: str) -> List[Tuple[float, str]]:
     # A .json file may hold one top-level array instead of one
     # document per line.
     try:
@@ -243,11 +312,12 @@ def _parse_jsonl_trace(path: Path, text: str) -> List[float]:
     return arrivals
 
 
-def _parse_csv_trace(path: Path, text: str) -> List[float]:
+def _parse_csv_trace(path: Path, text: str) -> List[Tuple[float, str]]:
     rows = [row for row in csv.reader(text.splitlines()) if row]
     if not rows:
         return []
     column, start = 0, 0
+    tenant_column: Optional[int] = None
     head = [cell.strip().lower() for cell in rows[0]]
     try:
         float(head[0])
@@ -262,13 +332,20 @@ def _parse_csv_trace(path: Path, text: str) -> List[float]:
                 f"trace {path}: header {rows[0]!r} names no timestamp "
                 f"column (expected one of {TRACE_FIELDS})"
             ) from None
+        if TRACE_TENANT_FIELD in head:
+            tenant_column = head.index(TRACE_TENANT_FIELD)
     arrivals = []
     for number, row in enumerate(rows[start:], start=start + 1):
         if column >= len(row):
             raise ServingError(
                 f"trace {path} line {number}: missing column {column}"
             )
-        arrivals.append(_trace_value(path, number, row[column].strip()))
+        tenant = DEFAULT_TENANT
+        if tenant_column is not None and tenant_column < len(row):
+            tenant = _trace_tenant(path, number, row[tenant_column])
+        arrivals.append(
+            (_trace_value(path, number, row[column].strip()), tenant)
+        )
     return arrivals
 
 
@@ -292,6 +369,7 @@ class TraceSource(EventSource):
         time_scale: float = 1.0,
         loop: int = 1,
         name: str = "trace",
+        tenants: Optional[Sequence[str]] = None,
     ):
         if not arrivals:
             raise ServingError("nothing to serve: empty trace")
@@ -301,7 +379,22 @@ class TraceSource(EventSource):
             )
         if loop < 1:
             raise ServingError(f"loop must be >= 1, got {loop}")
-        base = sorted(float(value) for value in arrivals)
+        tags = (
+            [DEFAULT_TENANT] * len(arrivals)
+            if tenants is None else [str(tag) for tag in tenants]
+        )
+        if len(tags) != len(arrivals):
+            raise ServingError(
+                f"trace has {len(arrivals)} arrivals but "
+                f"{len(tags)} tenant tags"
+            )
+        if not all(tags):
+            raise ServingError("trace tenant tags must be non-empty")
+        pairs = sorted(
+            zip((float(value) for value in arrivals), tags),
+            key=lambda pair: pair[0],
+        )
+        base = [value for value, _tag in pairs]
         if not all(math.isfinite(value) for value in base):
             raise ServingError("trace arrivals must be finite")
         origin = base[0]
@@ -317,6 +410,12 @@ class TraceSource(EventSource):
             for iteration in range(loop)
             for value in scaled
         ]
+        self.tags = [
+            tag for _iteration in range(loop) for _value, tag in pairs
+        ]
+        #: True when any arrival carries a non-default tenant tag —
+        #: precomputed so fast-forward eligibility gating stays O(1).
+        self.tenanted = any(tag != DEFAULT_TENANT for tag in self.tags)
 
     @classmethod
     def load(
@@ -325,20 +424,26 @@ class TraceSource(EventSource):
         time_scale: float = 1.0,
         loop: int = 1,
     ) -> "TraceSource":
-        """A source straight from a trace file (see :func:`load_trace`)."""
+        """A source straight from a trace file (see :func:`load_trace`);
+        a ``tenant`` column/key in the trace tags the replayed
+        arrivals."""
+        tagged = load_tagged_trace(path)
         return cls(
-            load_trace(path),
+            [value for value, _tenant in tagged],
             time_scale=time_scale,
             loop=loop,
             name=str(Path(path).name),
+            tenants=[tenant for _value, tenant in tagged],
         )
 
     def requests(self) -> List[Request]:
         """The replayed arrivals as a plain request list — usable
         anywhere the synthetic models are."""
         return [
-            Request(index=index, arrival=arrival)
-            for index, arrival in enumerate(self.arrivals)
+            Request(index=index, arrival=arrival, tenant=tenant)
+            for index, (arrival, tenant) in enumerate(
+                zip(self.arrivals, self.tags)
+            )
         ]
 
     @property
@@ -556,6 +661,7 @@ def shaped_trace(source: "TraceSource", shapes: Sequence) -> "TraceSource":
     shaped = TraceSource(
         shape_arrivals(source.arrivals, shapes),
         name=f"{source.name}+shaped",
+        tenants=source.tags,
     )
     # Keep the provenance knobs: the arrivals above are already scaled
     # and looped, so the new source must not re-apply them.
@@ -577,6 +683,12 @@ class ClosedLoopClientPool(EventSource):
     Think times are ``fixed`` (always ``think_time_s``) or
     ``exponential`` (mean ``think_time_s``, seeded — draws happen in
     deterministic completion order, so a run is exactly reproducible).
+
+    With a non-trivial ``tenants`` set the clients split into
+    per-tenant groups, apportioned by tenant weight
+    (:func:`~repro.serving.tenancy.split_clients` — largest remainder,
+    registration order, no RNG): client ids run in registration-order
+    blocks and every request a client issues carries its group's tag.
     """
 
     def __init__(
@@ -586,6 +698,7 @@ class ClosedLoopClientPool(EventSource):
         think_time_s: float = 0.0,
         distribution: str = "fixed",
         seed: int = 2020,
+        tenants: Optional[TenantSet] = None,
     ):
         if clients < 1:
             raise ServingError(f"client count must be >= 1, got {clients}")
@@ -607,6 +720,19 @@ class ClosedLoopClientPool(EventSource):
         self.think_time_s = think_time_s
         self.distribution = distribution
         self.seed = seed
+        if tenants is None:
+            self._client_tenant = [DEFAULT_TENANT] * clients
+        else:
+            self._client_tenant = [
+                name
+                for name, count in split_clients(clients, tenants)
+                for _client in range(count)
+            ]
+        #: True when any client issues non-default-tagged requests —
+        #: precomputed so fast-forward eligibility gating stays O(1).
+        self.tenanted = any(
+            tag != DEFAULT_TENANT for tag in self._client_tenant
+        )
         self._rng: Optional[np.random.Generator] = None
         self._owner: Dict[int, int] = {}  # outstanding index -> client
         self._issued = 0
@@ -629,7 +755,14 @@ class ClosedLoopClientPool(EventSource):
         index = self._issued
         self._issued += 1
         self._owner[index] = client
-        kernel.push(Arrival(time=at, request=Request(index, at)))
+        kernel.push(
+            Arrival(
+                time=at,
+                request=Request(
+                    index, at, tenant=self._client_tenant[client]
+                ),
+            )
+        )
 
     def _advance(self, kernel: EventKernel, index: int, at: float) -> None:
         client = self._owner.pop(index, None)
